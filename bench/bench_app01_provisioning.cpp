@@ -1,0 +1,81 @@
+// Application bench (paper §5.1-§5.2): what the operator actually does
+// with the measured contexts — upon detecting a new session of a known
+// context, provision a 5G slice with an expected duration and capacity.
+// This bench learns slice recommendations from one deployment window and
+// scores them against a second, disjoint window: how often was the
+// reserved capacity sufficient, and how much was over-provisioned versus
+// a context-blind flat reservation?
+#include <cstdio>
+
+#include "common/bench_support.hpp"
+#include "telemetry/provisioning.hpp"
+
+using namespace cgctx;
+
+int main() {
+  std::puts("== §5.1: context-driven slice provisioning ==\n");
+
+  // Learning window.
+  bench::FleetRunOptions learn_options;
+  learn_options.sessions = 500;
+  learn_options.seed = 1801;
+  const bench::FleetMeasurement learn_window = bench::run_fleet(learn_options);
+  telemetry::ProvisioningAdvisor advisor;
+  advisor.learn(learn_window.by_title);
+  advisor.learn(learn_window.by_pattern);
+
+  std::puts("learned slice recommendations:");
+  std::printf("%-26s %9s %12s %13s %9s\n", "context", "capacity",
+              "expect(min)", "priority", "evidence");
+  for (const auto& rec : advisor.all())
+    std::printf("%-26s %6.1f Mb %12.1f %13s %9zu\n", rec.context.c_str(),
+                rec.capacity_mbps, rec.expected_minutes,
+                to_string(rec.priority), rec.evidence_sessions);
+  if (const auto fallback = advisor.fleet_default())
+    std::printf("%-26s %6.1f Mb %12.1f %13s %9zu\n", fallback->context.c_str(),
+                fallback->capacity_mbps, fallback->expected_minutes,
+                to_string(fallback->priority), fallback->evidence_sessions);
+
+  // Evaluation window: score sufficiency and over-provisioning.
+  bench::FleetRunOptions eval_options;
+  eval_options.sessions = 300;
+  eval_options.seed = 1901;
+  const bench::FleetMeasurement eval_window = bench::run_fleet(eval_options);
+
+  double context_reserved = 0.0;
+  double flat_reserved = 0.0;
+  std::size_t sessions = 0;
+  std::size_t sufficient = 0;
+  const double flat_mbps = advisor.fleet_default()->capacity_mbps;
+  auto score = [&](const telemetry::FleetAggregator& agg) {
+    for (const auto& [key, stats] : agg.groups()) {
+      const auto rec = advisor.recommend(key);
+      if (!rec) continue;
+      for (double demand : stats.mean_down_mbps.values()) {
+        ++sessions;
+        context_reserved += rec->capacity_mbps;
+        flat_reserved += flat_mbps;
+        if (demand <= rec->capacity_mbps) ++sufficient;
+      }
+    }
+  };
+  score(eval_window.by_title);
+  score(eval_window.by_pattern);
+
+  std::printf("\nevaluation window (%zu sessions):\n", sessions);
+  std::printf("  capacity sufficient for %s of sessions\n",
+              bench::pct(static_cast<double>(sufficient) /
+                         static_cast<double>(sessions))
+                  .c_str());
+  std::printf("  context-aware reservation averages %.1f Mbps/session vs"
+              " %.1f Mbps flat (%.0f%% of flat)\n",
+              context_reserved / static_cast<double>(sessions), flat_mbps,
+              100.0 * context_reserved / flat_reserved);
+
+  std::puts("\nShape check (paper): knowing the context lets the operator"
+            " 'prioritize premium users with the appropriate QoS profiles"
+            " ... without over-provisioning' — low-demand contexts"
+            " (Hearthstone, idle-heavy role-playing) reserve far below the"
+            " flat rate while high-demand shooters keep premium slices.");
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Reproduces paper Fig. 3: downstream packet groups (full / steady /
+// sparse) during the first 60 seconds of four representative sessions —
+// Genshin Impact under three different client configurations (the profile
+// must stay nearly identical) and Fortnite (the profile must differ).
+// Quantified with a cross-session profile-distance metric.
+#include <cmath>
+#include <cstdio>
+
+#include "core/packet_groups.hpp"
+#include "sim/session.hpp"
+
+using namespace cgctx;
+
+namespace {
+
+struct SlotCensus {
+  std::array<double, core::kNumPacketGroups> counts{};
+  double steady_center = 0.0;
+};
+
+std::vector<SlotCensus> census_of(const sim::LabeledSession& session,
+                                  std::size_t slots) {
+  const auto labeled = core::label_window(session.packets, session.launch_begin,
+                                          net::kNanosPerSecond, slots);
+  std::vector<SlotCensus> out(slots);
+  for (std::size_t s = 0; s < slots; ++s) {
+    double steady_sum = 0.0;
+    for (const core::LabeledPacket& pkt : labeled[s]) {
+      out[s].counts[static_cast<std::size_t>(pkt.group)] += 1.0;
+      if (pkt.group == core::PacketGroup::kSteady)
+        steady_sum += pkt.payload_size;
+    }
+    const double n_steady = out[s].counts[1];
+    out[s].steady_center = n_steady > 0 ? steady_sum / n_steady : 0.0;
+  }
+  return out;
+}
+
+/// Mean per-slot relative difference between two group-census profiles.
+double profile_distance(const std::vector<SlotCensus>& a,
+                        const std::vector<SlotCensus>& b) {
+  double total = 0.0;
+  std::size_t n = 0;
+  for (std::size_t s = 0; s < std::min(a.size(), b.size()); ++s) {
+    for (std::size_t g = 0; g < core::kNumPacketGroups; ++g) {
+      const double denom = std::max(1.0, a[s].counts[g] + b[s].counts[g]);
+      total += std::abs(a[s].counts[g] - b[s].counts[g]) / denom;
+      ++n;
+    }
+  }
+  return total / static_cast<double>(n);
+}
+
+void print_profile(const char* label, const std::vector<SlotCensus>& census) {
+  std::printf("\n%s\n", label);
+  std::puts("  slot:   0    5   10   15   20   25   30   35   40   45");
+  const char* kGroupNames[] = {"full ", "stead", "spars"};
+  for (std::size_t g = 0; g < core::kNumPacketGroups; ++g) {
+    std::printf("  %s", kGroupNames[g]);
+    for (std::size_t s = 0; s < std::min<std::size_t>(50, census.size());
+         s += 5) {
+      std::printf(" %4.0f", census[s].counts[g]);
+    }
+    std::putchar('\n');
+  }
+}
+
+sim::LabeledSession make(sim::GameTitle title, sim::Resolution res, int fps,
+                         sim::DeviceClass device, std::uint64_t seed) {
+  sim::SessionGenerator generator;
+  sim::SessionSpec spec;
+  spec.title = title;
+  spec.gameplay_seconds = 10.0;
+  spec.seed = seed;
+  spec.config.resolution = res;
+  spec.config.fps = fps;
+  spec.config.device = device;
+  return generator.generate(spec);
+}
+
+}  // namespace
+
+int main() {
+  std::puts("== Fig. 3: launch-stage packet groups across sessions ==");
+  const std::size_t slots = 50;
+
+  const auto genshin_a = census_of(
+      make(sim::GameTitle::kGenshinImpact, sim::Resolution::kFhd, 60,
+           sim::DeviceClass::kPc, 1),
+      slots);
+  const auto genshin_b = census_of(
+      make(sim::GameTitle::kGenshinImpact, sim::Resolution::kUhd, 120,
+           sim::DeviceClass::kPc, 2),
+      slots);
+  const auto genshin_c = census_of(
+      make(sim::GameTitle::kGenshinImpact, sim::Resolution::kHd, 30,
+           sim::DeviceClass::kMobile, 3),
+      slots);
+  const auto fortnite = census_of(
+      make(sim::GameTitle::kFortnite, sim::Resolution::kFhd, 60,
+           sim::DeviceClass::kPc, 4),
+      slots);
+
+  print_profile("(a) Genshin Impact, PC FHD@60 — packets/slot by group:",
+                genshin_a);
+  print_profile("(b) Genshin Impact, PC UHD@120:", genshin_b);
+  print_profile("(c) Genshin Impact, Mobile HD@30:", genshin_c);
+  print_profile("(d) Fortnite, PC FHD@60:", fortnite);
+
+  std::puts("\nProfile distances (0 = identical):");
+  std::printf("  Genshin(a) vs Genshin(b) [same title, diff settings]: %.3f\n",
+              profile_distance(genshin_a, genshin_b));
+  std::printf("  Genshin(a) vs Genshin(c) [same title, diff device]  : %.3f\n",
+              profile_distance(genshin_a, genshin_c));
+  std::printf("  Genshin(a) vs Fortnite(d) [different title]         : %.3f\n",
+              profile_distance(genshin_a, fortnite));
+  std::puts("\nShape check (paper): same-title distances are small and the"
+            " cross-title distance is clearly larger — the packet-group"
+            " schedule is a per-title fingerprint invariant to settings.");
+  return 0;
+}

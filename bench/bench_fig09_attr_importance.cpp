@@ -1,0 +1,67 @@
+// Reproduces paper Fig. 9: permutation importance of the 51 packet-group
+// attributes in the best-performing Random Forest title classifier, with
+// each attribute tagged by its packet group (full/steady/sparse) and
+// metric family (count/size/inter-arrival).
+#include <algorithm>
+#include <cstdio>
+
+#include "common/bench_support.hpp"
+#include "core/training.hpp"
+#include "ml/importance.hpp"
+#include "ml/metrics.hpp"
+#include "ml/random_forest.hpp"
+
+using namespace cgctx;
+
+int main() {
+  std::puts("== Fig. 9: permutation importance of the 51 launch attributes ==\n");
+
+  sim::LabPlanOptions plan;
+  plan.seed = 909;
+  plan.scale = 0.6;
+  plan.gameplay_seconds = 10.0;
+  const auto specs = sim::lab_session_plan(plan);
+  core::TitleDatasetOptions options;
+  options.augment_copies = 1;
+  const ml::Dataset data = core::build_title_dataset(specs, options);
+
+  ml::Rng rng(9);
+  const auto split = ml::stratified_split(data, 0.3, rng);
+  ml::RandomForest forest(
+      ml::RandomForestParams{.n_trees = 300, .max_depth = 10, .seed = 2});
+  forest.fit(split.train);
+  std::printf("baseline accuracy: %.1f%%\n\n",
+              100 * forest.score(split.test));
+
+  const auto result = ml::permutation_importance(forest, split.test, 5, rng);
+  const auto names = core::launch_attribute_names();
+
+  // Sort attributes by importance, descending.
+  std::vector<std::size_t> order(names.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return result.mean_drop[a] > result.mean_drop[b];
+  });
+
+  double max_drop = result.mean_drop[order.front()];
+  std::printf("%-22s %10s  %s\n", "attribute", "acc. drop", "");
+  std::size_t zero_importance = 0;
+  for (std::size_t i : order) {
+    const double drop = std::max(0.0, result.mean_drop[i]);
+    if (drop <= 1e-9) {
+      ++zero_importance;
+      continue;
+    }
+    std::printf("%-22s %9.2f%%  %s\n", names[i].c_str(), 100 * drop,
+                bench::bar(drop, max_drop, 30).c_str());
+  }
+  std::printf("\n%zu of %zu attributes show no measurable importance "
+              "(candidates for pipeline cost optimization, as the paper "
+              "notes for 8 of its 51).\n",
+              zero_importance, names.size());
+  std::puts("Shape check (paper): 43 of 51 attributes carry predictive"
+            " power; steady/sparse size and timing attributes dominate,"
+            " while several full-group statistics (e.g. the nearly constant"
+            " full packet size) contribute nothing.");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Reproduces paper Fig. 11: average minutes per session spent in the
+// active, passive and idle player activity stages, (a) per classified
+// game title and (b) per gameplay activity pattern for unknown titles,
+// measured over a simulated deployment window.
+#include <cstdio>
+
+#include "common/bench_support.hpp"
+
+using namespace cgctx;
+
+namespace {
+
+void print_group(const std::string& key, const telemetry::GroupStats& group) {
+  const double active = group.stage_minutes[0].mean();
+  const double passive = group.stage_minutes[1].mean();
+  const double idle = group.stage_minutes[2].mean();
+  std::printf("%-26s %4zu %8.1f %8.1f %8.1f %8.1f  %s\n", key.c_str(),
+              group.sessions, group.duration_minutes.mean(), active, passive,
+              idle, bench::bar(group.duration_minutes.mean(), 40.0, 24).c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::puts("== Fig. 11: stage durations per session ==");
+  std::puts("(fleet durations scaled x0.35 of paper scale; ratios preserved)\n");
+
+  bench::FleetRunOptions options;
+  options.sessions = 700;
+  options.seed = 1111;
+  const bench::FleetMeasurement fleet = bench::run_fleet(options);
+
+  std::puts("(a) per classified (validated) game title:");
+  std::printf("%-26s %4s %8s %8s %8s %8s\n", "title", "n", "dur(min)",
+              "active", "passive", "idle");
+  for (const auto& [key, group] : fleet.by_title.groups())
+    print_group(key, group);
+
+  std::puts("\n(b) per inferred pattern (titles outside the catalog):");
+  std::printf("%-26s %4s %8s %8s %8s %8s\n", "pattern", "n", "dur(min)",
+              "active", "passive", "idle");
+  for (const auto& [key, group] : fleet.by_pattern.groups())
+    print_group(key, group);
+
+  std::puts("\nShape check (paper): Baldur's Gate 3 and Cyberpunk 2077 have"
+            " the longest sessions with large idle fractions (dialogue);"
+            " Rocket League and CS:GO the shortest; Fortnite and Dota 2"
+            " are the most active-heavy; role-playing/continuous sessions"
+            " show a substantial idle share and almost no passive time.");
+  return 0;
+}

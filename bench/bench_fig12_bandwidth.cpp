@@ -1,0 +1,65 @@
+// Reproduces paper Fig. 12: per-session average downstream throughput
+// distributions, (a) per classified game title (with the per-resolution
+// demand clusters) and (b) per gameplay activity pattern.
+#include <cstdio>
+
+#include "common/bench_support.hpp"
+#include "sim/session.hpp"
+
+using namespace cgctx;
+
+int main() {
+  std::puts("== Fig. 12: bandwidth demand per game context ==\n");
+
+  bench::FleetRunOptions options;
+  options.sessions = 700;
+  options.seed = 1212;
+  const bench::FleetMeasurement fleet = bench::run_fleet(options);
+
+  std::puts("(a) per classified (validated) title — session-mean Mbps:");
+  std::printf("%-26s %4s %7s %7s %7s %7s\n", "title", "n", "p5", "median",
+              "p95", "max");
+  for (const auto& [key, group] : fleet.by_title.groups()) {
+    std::printf("%-26s %4zu %7.1f %7.1f %7.1f %7.1f  %s\n", key.c_str(),
+                group.sessions, group.mean_down_mbps.percentile(0.05),
+                group.mean_down_mbps.percentile(0.5),
+                group.mean_down_mbps.percentile(0.95),
+                group.mean_down_mbps.max(),
+                bench::bar(group.mean_down_mbps.percentile(0.5), 30.0, 24)
+                    .c_str());
+  }
+
+  std::puts("\n(b) per inferred pattern (unknown titles):");
+  for (const auto& [key, group] : fleet.by_pattern.groups()) {
+    std::printf("%-26s %4zu  median %5.1f Mbps  p95 %5.1f  max %5.1f\n",
+                key.c_str(), group.sessions,
+                group.mean_down_mbps.percentile(0.5),
+                group.mean_down_mbps.percentile(0.95),
+                group.mean_down_mbps.max());
+  }
+
+  // The per-title demand clusters: active-stage throughput of one title
+  // across the discrete resolution settings (paper: Destiny 2 shows 3
+  // clusters mapped to resolution groups).
+  std::puts("\nDestiny 2 demand clusters by resolution setting"
+            " (active-stage throughput, lab network):");
+  const sim::GameInfo& destiny = sim::info(sim::GameTitle::kDestiny2);
+  for (const sim::Resolution res :
+       {sim::Resolution::kSd, sim::Resolution::kHd, sim::Resolution::kFhd,
+        sim::Resolution::kQhd, sim::Resolution::kUhd}) {
+    sim::ClientConfig lo;
+    lo.resolution = res;
+    lo.fps = 30;
+    sim::ClientConfig hi = lo;
+    hi.fps = 120;
+    std::printf("  %-4s: %4.1f - %4.1f Mbps\n", to_string(res),
+                sim::demand_mbps(destiny, lo), sim::demand_mbps(destiny, hi));
+  }
+
+  std::puts("\nShape check (paper): Hearthstone is the low-demand outlier"
+            " (~20 Mbps max); Fortnite/Baldur's Gate reach ~68 Mbps;"
+            " each title shows discrete demand clusters tracking the"
+            " resolution settings; the two patterns have similar 10-25"
+            " Mbps bodies with spectate-and-play slightly higher.");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Reproduces paper Fig. 13: fraction of sessions at good / medium / bad
+// user experience under the objective QoE mapping vs the context-
+// calibrated effective QoE mapping, (a) per classified title and (b) per
+// gameplay activity pattern. The headline: context calibration recovers
+// the sessions that were only "bad" because their title or activity stage
+// legitimately needs less bandwidth and frame rate — while genuinely
+// network-degraded sessions stay bad.
+#include <cstdio>
+
+#include "common/bench_support.hpp"
+
+using namespace cgctx;
+
+namespace {
+
+void print_row(const std::string& key, const telemetry::GroupStats& group) {
+  std::printf("%-26s %4zu |", key.c_str(), group.sessions);
+  for (const auto level :
+       {core::QoeLevel::kBad, core::QoeLevel::kMedium, core::QoeLevel::kGood})
+    std::printf(" %s", bench::pct(group.objective_fraction(level)).c_str());
+  std::printf(" |");
+  for (const auto level :
+       {core::QoeLevel::kBad, core::QoeLevel::kMedium, core::QoeLevel::kGood})
+    std::printf(" %s", bench::pct(group.effective_fraction(level)).c_str());
+  std::putchar('\n');
+}
+
+}  // namespace
+
+int main() {
+  std::puts("== Fig. 13: objective vs effective QoE ==\n");
+
+  bench::FleetRunOptions options;
+  options.sessions = 700;
+  options.seed = 1313;
+  const bench::FleetMeasurement fleet = bench::run_fleet(options);
+
+  std::puts("                                |  objective QoE      |"
+            "  effective QoE");
+  std::printf("%-26s %4s | %6s %6s %6s | %6s %6s %6s\n", "title", "n", "bad",
+              "med", "good", "bad", "med", "good");
+  for (const auto& [key, group] : fleet.by_title.groups())
+    print_row(key, group);
+  std::puts("");
+  for (const auto& [key, group] : fleet.by_pattern.groups())
+    print_row(key, group);
+
+  // Aggregate correction statistics.
+  std::size_t obj_not_good = 0;
+  std::size_t eff_not_good = 0;
+  std::size_t eff_bad = 0;
+  std::size_t obj_bad = 0;
+  std::size_t sessions = 0;
+  auto tally = [&](const telemetry::FleetAggregator& agg) {
+    for (const auto& [key, group] : agg.groups()) {
+      sessions += group.sessions;
+      obj_bad += group.objective_counts[0];
+      eff_bad += group.effective_counts[0];
+      obj_not_good += group.objective_counts[0] + group.objective_counts[1];
+      eff_not_good += group.effective_counts[0] + group.effective_counts[1];
+    }
+  };
+  tally(fleet.by_title);
+  tally(fleet.by_pattern);
+  std::printf("\nacross %zu sessions: objectively degraded %s -> effectively"
+              " degraded %s (bad: %s -> %s)\n",
+              sessions,
+              bench::pct(static_cast<double>(obj_not_good) / sessions).c_str(),
+              bench::pct(static_cast<double>(eff_not_good) / sessions).c_str(),
+              bench::pct(static_cast<double>(obj_bad) / sessions).c_str(),
+              bench::pct(static_cast<double>(eff_bad) / sessions).c_str());
+
+  std::puts("\nShape check (paper): every title gains good-QoE sessions"
+            " after calibration; the low-demand card game (Hearthstone)"
+            " flips from all-medium/bad to mostly good; role-playing"
+            " titles with large idle fractions gain strongly; the residual"
+            " bad sessions are the genuinely congested tail the operator"
+            " should actually troubleshoot.");
+  return 0;
+}

@@ -1,0 +1,133 @@
+// Reproduces paper Fig. 15 (Appendix C.2): hyperparameter tuning of RF,
+// SVM and KNN for gameplay-activity-pattern classification from the nine
+// stage-transition attributes.
+#include <cstdio>
+
+#include "common/bench_support.hpp"
+#include "core/training.hpp"
+#include "ml/grid_search.hpp"
+#include "ml/knn.hpp"
+#include "ml/random_forest.hpp"
+#include "ml/scaler.hpp"
+#include "ml/svm.hpp"
+
+using namespace cgctx;
+
+namespace {
+
+void print_grid(const char* title, const std::vector<std::string>& row_names,
+                const std::vector<std::string>& col_names,
+                const ml::GridSearchResult& result) {
+  std::printf("\n--- %s ---\n%12s", title, "");
+  for (const auto& col : col_names) std::printf(" %9s", col.c_str());
+  std::putchar('\n');
+  std::size_t index = 0;
+  for (const auto& row : row_names) {
+    std::printf("%12s", row.c_str());
+    for (std::size_t c = 0; c < col_names.size(); ++c, ++index) {
+      const bool best = index == result.best_index;
+      std::printf(" %7.1f%%%c", 100 * result.scores[index], best ? '*' : ' ');
+    }
+    std::putchar('\n');
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::puts("== Fig. 15: model tuning for pattern classification ==");
+  std::puts("(cross-validated accuracy over 9 transition attributes;"
+            " * marks the best)");
+
+  // Transition-attribute dataset built with the production stage
+  // classifier, exactly as the deployed inference consumes it.
+  const core::ModelSuite& suite = bench::bench_models();
+  sim::LabPlanOptions plan;
+  plan.seed = 1515;
+  plan.scale = 1.0;
+  plan.gameplay_seconds = 900.0;
+  const auto specs = sim::lab_session_plan(plan);
+  const ml::Dataset raw = core::build_pattern_dataset(
+      specs, suite.stage, {}, /*include_prefix_horizons=*/false);
+  ml::StandardScaler scaler;
+  scaler.fit(raw);
+  const ml::Dataset data = scaler.transform(raw);
+  std::printf("(%zu sessions)\n", data.size());
+
+  ml::Rng rng(15);
+
+  {
+    const std::size_t trees[] = {50, 100, 200, 500};
+    const std::size_t depths[] = {5, 10, 20, 30};
+    std::vector<ml::GridCandidate> grid;
+    std::vector<std::string> rows;
+    std::vector<std::string> cols;
+    for (std::size_t d : depths) cols.push_back("d=" + std::to_string(d));
+    for (std::size_t t : trees) {
+      rows.push_back(std::to_string(t) + " trees");
+      for (std::size_t d : depths)
+        grid.push_back({"rf", [t, d] {
+                          return std::make_unique<ml::RandomForest>(
+                              ml::RandomForestParams{.n_trees = t,
+                                                     .max_depth = d,
+                                                     .seed = 15});
+                        }});
+    }
+    print_grid("Random Forest (trees x max depth)", rows, cols,
+               ml::grid_search(grid, data, 5, rng));
+  }
+
+  {
+    const double cs[] = {0.1, 1.0, 10.0};
+    const ml::KernelType kernels[] = {ml::KernelType::kLinear,
+                                      ml::KernelType::kRbf,
+                                      ml::KernelType::kPoly};
+    std::vector<ml::GridCandidate> grid;
+    std::vector<std::string> rows;
+    std::vector<std::string> cols = {"linear", "rbf", "poly"};
+    for (double c : cs) {
+      char name[16];
+      std::snprintf(name, sizeof name, "C=%g", c);
+      rows.push_back(name);
+      for (ml::KernelType k : kernels)
+        grid.push_back({"svm", [c, k] {
+                          ml::SvmParams params;
+                          params.c = c;
+                          params.kernel = k;
+                          // Grid-sized SMO budget: accuracy plateaus well
+                          // before the default sweep cap.
+                          params.max_passes = 3;
+                          params.max_iterations = 60;
+                          return std::make_unique<ml::Svm>(params);
+                        }});
+    }
+    print_grid("SVM (C x kernel)", rows, cols,
+               ml::grid_search(grid, data, 5, rng));
+  }
+
+  {
+    const std::size_t ks[] = {1, 3, 7, 15};
+    const ml::DistanceMetric metrics[] = {ml::DistanceMetric::kEuclidean,
+                                          ml::DistanceMetric::kManhattan,
+                                          ml::DistanceMetric::kChebyshev};
+    std::vector<ml::GridCandidate> grid;
+    std::vector<std::string> rows;
+    std::vector<std::string> cols = {"euclid", "manhat", "cheby"};
+    for (std::size_t k : ks) {
+      rows.push_back("k=" + std::to_string(k));
+      for (ml::DistanceMetric m : metrics)
+        grid.push_back({"knn", [k, m] {
+                          return std::make_unique<ml::Knn>(
+                              ml::KnnParams{.k = k, .metric = m});
+                        }});
+    }
+    print_grid("KNN (k x distance metric)", rows, cols,
+               ml::grid_search(grid, data, 5, rng));
+  }
+
+  std::puts("\nShape check (paper): RF best (96.5% there), but SVM (95.9%)"
+            " and KNN (93.7%) are close behind — the 9-dimensional"
+            " transition space is far easier than the 51-dimensional"
+            " title space.");
+  return 0;
+}

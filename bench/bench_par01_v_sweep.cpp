@@ -1,0 +1,100 @@
+// Reproduces the paper's §4.4.1 V-parameter study: the payload-variation
+// tolerance used by the majority-voting packet-group labeler, swept over
+// 1-20%. Two views: (1) labeling precision/recall against constructed
+// streams with known group membership; (2) end-to-end title-classification
+// accuracy when the pipeline uses each V.
+#include <cstdio>
+
+#include "core/training.hpp"
+#include "ml/metrics.hpp"
+#include "ml/random_forest.hpp"
+
+using namespace cgctx;
+
+namespace {
+
+const double kVs[] = {0.01, 0.05, 0.10, 0.15, 0.20};
+
+/// Constructs a slot of interleaved steady-band packets (ground truth:
+/// steady) and uniformly random packets (ground truth: sparse), then
+/// scores the labeler. Band width ~8% of center: tight enough that V=10%
+/// keeps it together, loose enough that V=1% shatters it.
+void labeling_quality(double v, double* steady_recall, double* sparse_recall) {
+  ml::Rng rng(42);
+  std::size_t steady_total = 0;
+  std::size_t steady_hit = 0;
+  std::size_t sparse_total = 0;
+  std::size_t sparse_hit = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::uint32_t> sizes;
+    std::vector<bool> is_steady;
+    const double center = rng.uniform(300.0, 1100.0);
+    for (int i = 0; i < 60; ++i) {
+      if (rng.chance(0.65)) {
+        sizes.push_back(static_cast<std::uint32_t>(
+            center * rng.uniform(0.96, 1.04)));
+        is_steady.push_back(true);
+      } else {
+        sizes.push_back(static_cast<std::uint32_t>(rng.uniform(60.0, 1400.0)));
+        is_steady.push_back(false);
+      }
+    }
+    core::GroupLabelerParams params;
+    params.v_fraction = v;
+    const auto labels = core::label_packet_groups(sizes, params);
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      if (labels[i] == core::PacketGroup::kFull) continue;
+      if (is_steady[i]) {
+        ++steady_total;
+        if (labels[i] == core::PacketGroup::kSteady) ++steady_hit;
+      } else {
+        ++sparse_total;
+        if (labels[i] == core::PacketGroup::kSparse) ++sparse_hit;
+      }
+    }
+  }
+  *steady_recall = static_cast<double>(steady_hit) / steady_total;
+  *sparse_recall = static_cast<double>(sparse_hit) / sparse_total;
+}
+
+}  // namespace
+
+int main() {
+  std::puts("== §4.4.1: payload-variation tolerance V ==\n");
+
+  std::puts("(1) group-labeling quality on constructed slots:");
+  std::printf("%6s %15s %15s\n", "V", "steady recall", "sparse recall");
+  for (double v : kVs) {
+    double steady = 0.0;
+    double sparse = 0.0;
+    labeling_quality(v, &steady, &sparse);
+    std::printf("%5.0f%% %14.1f%% %14.1f%%\n", 100 * v, 100 * steady,
+                100 * sparse);
+  }
+
+  std::puts("\n(2) end-to-end title accuracy per V:");
+  sim::LabPlanOptions plan;
+  plan.seed = 101;
+  plan.scale = 0.4;
+  plan.gameplay_seconds = 10.0;
+  const auto specs = sim::lab_session_plan(plan);
+  std::printf("%6s %10s\n", "V", "accuracy");
+  for (double v : kVs) {
+    core::TitleDatasetOptions options;
+    options.attributes.group_params.v_fraction = v;
+    options.augment_copies = 1;
+    const ml::Dataset data = core::build_title_dataset(specs, options);
+    ml::Rng rng(11);
+    const auto split = ml::stratified_split(data, 0.3, rng);
+    ml::RandomForest forest(
+        ml::RandomForestParams{.n_trees = 200, .max_depth = 10, .seed = 3});
+    forest.fit(split.train);
+    std::printf("%5.0f%% %9.1f%%\n", 100 * v, 100 * forest.score(split.test));
+  }
+
+  std::puts("\nShape check (paper): very low V (1-5%) mislabels slightly"
+            " varying steady packets as sparse; very high V (15-20%)"
+            " absorbs sparse packets into steady; V=10% balances both and"
+            " yields the best labeling.");
+  return 0;
+}

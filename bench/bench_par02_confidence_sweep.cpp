@@ -1,0 +1,94 @@
+// Reproduces the paper's §4.4.2 confidence-threshold study for gameplay-
+// activity-pattern inference: for thresholds from 0 to 95%, the accuracy
+// of the first emitted inference and the average time until it is
+// emitted. Low thresholds answer in seconds but are wrong half the time;
+// very high thresholds may not answer until session end.
+#include <cstdio>
+
+#include "common/bench_support.hpp"
+#include "core/training.hpp"
+
+using namespace cgctx;
+
+int main() {
+  std::puts("== §4.4.2: pattern-inference confidence threshold ==\n");
+  const core::ModelSuite& suite = bench::bench_models();
+
+  // Evaluation sessions (30 min, both patterns).
+  sim::LabPlanOptions plan;
+  plan.seed = 20202;
+  plan.scale = 0.25;
+  plan.gameplay_seconds = 1800.0;
+  const auto specs = sim::lab_session_plan(plan);
+
+  // Per session, record the confidence trajectory once; evaluate every
+  // threshold against it.
+  struct Trajectory {
+    std::vector<core::PatternResult> per_slot;
+    ml::Label truth;
+  };
+  std::vector<Trajectory> trajectories;
+  const sim::SessionGenerator generator;
+  for (const sim::SessionSpec& spec : specs) {
+    const sim::LabeledSession session = generator.generate_slots_only(spec);
+    Trajectory trajectory;
+    trajectory.truth = sim::info(spec.title).pattern ==
+                               sim::ActivityPattern::kContinuousPlay
+                           ? core::kPatternContinuous
+                           : core::kPatternSpectate;
+    core::VolumetricTracker tracker;
+    core::TransitionTracker transitions;
+    for (const sim::SlotSample& sample : session.slots) {
+      const ml::FeatureRow attrs = tracker.push(
+          core::RawSlotVolumetrics{sample.down_bytes, sample.down_packets,
+                                   sample.up_bytes, sample.up_packets});
+      transitions.push(suite.stage.classify(attrs));
+      trajectory.per_slot.push_back(
+          transitions.transition_count() > 0
+              ? suite.pattern.infer_unchecked(transitions)
+              : core::PatternResult{});
+    }
+    trajectories.push_back(std::move(trajectory));
+  }
+
+  const double kThresholds[] = {0.0, 0.2, 0.4, 0.55, 0.65, 0.75, 0.85, 0.95};
+  std::printf("%10s %10s %14s %12s\n", "threshold", "accuracy",
+              "time-to-result", "no-result");
+  for (double threshold : kThresholds) {
+    std::size_t decided = 0;
+    std::size_t correct = 0;
+    double total_time = 0.0;
+    std::size_t undecided = 0;
+    for (const Trajectory& trajectory : trajectories) {
+      bool done = false;
+      // Respect the pipeline's two-minute transition floor so thresholds
+      // compare on decision *quality*, not launch noise.
+      for (std::size_t s = 120; s < trajectory.per_slot.size(); ++s) {
+        const core::PatternResult& r = trajectory.per_slot[s];
+        if (r.label >= 0 && r.confidence >= threshold) {
+          ++decided;
+          if (r.label == trajectory.truth) ++correct;
+          total_time += static_cast<double>(s + 1);
+          done = true;
+          break;
+        }
+      }
+      if (!done) ++undecided;
+    }
+    std::printf("%9.0f%% %9.1f%% %12.0f s %11zu\n", 100 * threshold,
+                decided > 0 ? 100.0 * static_cast<double>(correct) /
+                                  static_cast<double>(decided)
+                            : 0.0,
+                decided > 0 ? total_time / static_cast<double>(decided) : 0.0,
+                undecided);
+  }
+
+  std::puts("\nShape check (paper): the accuracy/responsiveness trade-off"
+            " is monotone — low thresholds decide within seconds of the"
+            " floor with poor accuracy, high thresholds decide minutes in"
+            " with the best accuracy, and 95% sometimes never answers."
+            " (Our vote-share confidences are less calibrated than the"
+            " paper's, so the deployed pipeline keeps refining after the"
+            " first confident verdict; see EXPERIMENTS.md.)");
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Performance microbenchmarks (google-benchmark): the per-packet and
+// per-slot costs that determine whether the method runs in real time at
+// an operator vantage point — flow-table accounting, RTP parsing, packet
+// group labeling, launch-attribute extraction, model inference, and the
+// end-to-end per-session pipeline.
+#include <benchmark/benchmark.h>
+
+#include "common/bench_support.hpp"
+#include "core/training.hpp"
+#include "net/flow_table.hpp"
+#include "net/framing.hpp"
+#include "sim/session.hpp"
+
+using namespace cgctx;
+
+namespace {
+
+const sim::LabeledSession& sample_session() {
+  static const sim::LabeledSession session = [] {
+    sim::SessionGenerator generator;
+    sim::SessionSpec spec;
+    spec.title = sim::GameTitle::kFortnite;
+    spec.gameplay_seconds = 60.0;
+    spec.seed = 9;
+    return generator.generate(spec);
+  }();
+  return session;
+}
+
+void BM_FlowTableIngest(benchmark::State& state) {
+  const auto& packets = sample_session().packets;
+  for (auto _ : state) {
+    net::FlowTable table;
+    for (const auto& pkt : packets) benchmark::DoNotOptimize(&table.add(pkt));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(packets.size()));
+}
+BENCHMARK(BM_FlowTableIngest);
+
+void BM_RtpParse(benchmark::State& state) {
+  net::RtpHeader header;
+  header.payload_type = 98;
+  header.sequence = 1234;
+  header.ssrc = 0xabcd;
+  const auto bytes = header.serialize();
+  for (auto _ : state) benchmark::DoNotOptimize(net::parse_rtp(bytes));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RtpParse);
+
+void BM_FrameDecode(benchmark::State& state) {
+  const auto& pkt = sample_session().packets.front();
+  const auto frame = net::encode_udp_frame(pkt.tuple, net::build_payload(pkt));
+  for (auto _ : state) benchmark::DoNotOptimize(net::decode_udp_frame(frame));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FrameDecode);
+
+void BM_PacketGroupLabeling(benchmark::State& state) {
+  // A realistic launch slot: ~300 packets mixing all three groups.
+  ml::Rng rng(3);
+  std::vector<std::uint32_t> sizes;
+  for (int i = 0; i < 300; ++i) {
+    const double u = rng.next_double();
+    sizes.push_back(u < 0.4    ? 1432u
+                    : u < 0.75 ? static_cast<std::uint32_t>(
+                                     rng.uniform(780.0, 820.0))
+                               : static_cast<std::uint32_t>(
+                                     rng.uniform(80.0, 1400.0)));
+  }
+  for (auto _ : state)
+    benchmark::DoNotOptimize(core::label_packet_groups(sizes));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 300);
+}
+BENCHMARK(BM_PacketGroupLabeling);
+
+void BM_LaunchAttributeExtraction(benchmark::State& state) {
+  const auto& session = sample_session();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        core::launch_attributes(session.packets, session.launch_begin));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_LaunchAttributeExtraction);
+
+void BM_TitleForestInference(benchmark::State& state) {
+  const auto& suite = bench::bench_models();
+  const auto row = core::launch_attributes(sample_session().packets,
+                                           sample_session().launch_begin);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(suite.title.classify_features(row));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TitleForestInference);
+
+void BM_StageSlotClassification(benchmark::State& state) {
+  const auto& suite = bench::bench_models();
+  core::VolumetricTracker tracker;
+  const core::RawSlotVolumetrics slot{2'500'000, 1900, 9'000, 95};
+  for (auto _ : state) {
+    const ml::FeatureRow attrs = tracker.push(slot);
+    benchmark::DoNotOptimize(suite.stage.classify(attrs));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_StageSlotClassification);
+
+void BM_EndToEndSession(benchmark::State& state) {
+  const auto& suite = bench::bench_models();
+  const core::RealtimePipeline pipeline(suite.models(),
+                                        core::default_pipeline_params());
+  sim::SessionGenerator generator;
+  sim::SessionSpec spec;
+  spec.title = sim::GameTitle::kCsgo;
+  spec.gameplay_seconds = 600.0;
+  spec.seed = 10;
+  const sim::LabeledSession session = generator.generate_slots_only(spec);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(pipeline.process_session(session));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(session.slots.size()));
+}
+BENCHMARK(BM_EndToEndSession);
+
+}  // namespace
+
+BENCHMARK_MAIN();

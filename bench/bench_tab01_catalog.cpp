@@ -1,0 +1,41 @@
+// Reproduces paper Table 1: the thirteen popular cloud game titles with
+// genre, gameplay activity pattern, and playtime popularity — and
+// verifies the fleet sampler actually realizes that playtime mix.
+#include <cstdio>
+#include <map>
+
+#include "sim/fleet.hpp"
+
+using namespace cgctx;
+
+int main() {
+  std::puts("== Table 1: popular cloud game titles ==\n");
+  std::printf("%-20s %-13s %-18s %10s %12s\n", "Game title", "Genre",
+              "Activity pattern", "Popularity", "Sampled");
+
+  // Empirical popularity from the fleet sampler, weighted by duration
+  // (Table 1 popularity is fraction of total playtime).
+  sim::FleetOptions options;
+  options.seed = 11;
+  sim::FleetSampler sampler(options);
+  std::map<sim::GameTitle, double> playtime;
+  double total = 0.0;
+  for (int i = 0; i < 60000; ++i) {
+    const auto spec = sampler.sample();
+    playtime[spec.title] += spec.gameplay_seconds;
+    total += spec.gameplay_seconds;
+  }
+
+  for (const sim::GameInfo& game : sim::popular_titles()) {
+    std::printf("%-20s %-13s %-18s %9.2f%% %11.2f%%\n", game.name,
+                to_string(game.genre), to_string(game.pattern),
+                100 * game.popularity, 100 * playtime[game.title] / total);
+  }
+  const double tail = playtime[sim::GameTitle::kOtherContinuous] +
+                      playtime[sim::GameTitle::kOtherSpectate];
+  std::printf("%-20s %-13s %-18s %10s %11.2f%%\n", "(long tail)", "-", "-", "-",
+              100 * tail / total);
+  std::puts("\nShape check (paper): top 13 titles cover ~69% of playtime;"
+            " Fortnite ~37.8%, Genshin ~20.1%.");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Reproduces paper Table 3: per-title game classification accuracy of the
+// best-performing Random Forest using the specialized packet-group
+// attributes vs the standard flow-volumetric attributes baseline.
+#include <cstdio>
+
+#include "core/training.hpp"
+#include "ml/metrics.hpp"
+#include "ml/random_forest.hpp"
+
+using namespace cgctx;
+
+int main() {
+  std::puts("== Table 3: title accuracy, packet-group vs flow-volumetric ==");
+  std::puts("(training on the full Table 2 lab plan with x1 augmentation)\n");
+
+  sim::LabPlanOptions plan;
+  plan.seed = 303;
+  plan.scale = 1.0;
+  plan.gameplay_seconds = 10.0;
+  const auto specs = sim::lab_session_plan(plan);
+  core::TitleDatasetOptions options;
+  options.augment_copies = 1;
+
+  const ml::Dataset group_data = core::build_title_dataset(specs, options);
+  const ml::Dataset vol_data =
+      core::build_flow_volumetric_dataset(specs, options);
+
+  ml::Rng rng(7);
+  const auto group_split = ml::stratified_split(group_data, 0.25, rng);
+  const auto vol_split = ml::stratified_split(vol_data, 0.25, rng);
+
+  const ml::RandomForestParams forest_params{
+      .n_trees = 500, .max_depth = 10, .min_samples_split = 2,
+      .min_samples_leaf = 1, .max_features = 0, .bootstrap = true,
+      .seed = 1};
+  ml::RandomForest group_forest(forest_params);
+  group_forest.fit(group_split.train);
+  ml::RandomForest vol_forest(forest_params);
+  vol_forest.fit(vol_split.train);
+
+  const auto group_cm = ml::evaluate(group_forest, group_split.test);
+  const auto vol_cm = ml::evaluate(vol_forest, vol_split.test);
+
+  std::printf("%-20s %20s %18s\n", "Game title", "Accur. (pkt. group)",
+              "Accur. (flow vol.)");
+  for (std::size_t c = 0; c < group_data.num_classes(); ++c) {
+    std::printf("%-20s %19.1f%% %17.1f%%\n",
+                group_data.class_names()[c].c_str(),
+                100 * group_cm.per_class_accuracy(static_cast<ml::Label>(c)),
+                100 * vol_cm.per_class_accuracy(static_cast<ml::Label>(c)));
+  }
+  std::printf("%-20s %19.1f%% %17.1f%%\n", "OVERALL",
+              100 * group_cm.accuracy(), 100 * vol_cm.accuracy());
+
+  std::puts("\nShape check (paper): packet-group attributes reach ~93-98%"
+            " per title; the flow-volumetric baseline drops ~10 points"
+            " (80-92%). Packet-group wins for every title overall.");
+  return 0;
+}

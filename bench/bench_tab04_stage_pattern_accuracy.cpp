@@ -1,0 +1,79 @@
+// Reproduces paper Table 4: player-activity-stage classification accuracy
+// (per stage, by time slot) and gameplay-activity-pattern inference
+// accuracy (by session), reported separately for continuous-play and
+// spectate-and-play games.
+#include <cstdio>
+
+#include "common/bench_support.hpp"
+#include "core/training.hpp"
+#include "ml/metrics.hpp"
+
+using namespace cgctx;
+
+int main() {
+  std::puts("== Table 4: stage & pattern accuracy by gameplay type ==\n");
+  const core::ModelSuite& suite = bench::bench_models();
+
+  // Evaluation sessions, held out from training by seed.
+  sim::LabPlanOptions plan;
+  plan.seed = 40404;
+  plan.scale = 0.5;
+  plan.gameplay_seconds = 1500.0;
+  const auto specs = sim::lab_session_plan(plan);
+
+  // Per-pattern stage confusion and pattern tallies.
+  ml::ConfusionMatrix stage_cm[2] = {ml::ConfusionMatrix(3),
+                                     ml::ConfusionMatrix(3)};
+  std::size_t pattern_total[2] = {};
+  std::size_t pattern_correct[2] = {};
+
+  const sim::SessionGenerator generator;
+  for (const sim::SessionSpec& spec : specs) {
+    const sim::LabeledSession session = generator.generate_slots_only(spec);
+    const auto pattern = sim::info(spec.title).pattern;
+    const std::size_t p =
+        pattern == sim::ActivityPattern::kContinuousPlay ? 0 : 1;
+
+    core::VolumetricTracker tracker;
+    core::TransitionTracker transitions;
+    for (std::size_t s = 0; s < session.slots.size(); ++s) {
+      const auto& sample = session.slots[s];
+      const ml::FeatureRow attrs = tracker.push(
+          core::RawSlotVolumetrics{sample.down_bytes, sample.down_packets,
+                                   sample.up_bytes, sample.up_packets});
+      const ml::Label predicted = suite.stage.classify(attrs);
+      transitions.push(predicted);
+      const net::Timestamp mid =
+          session.launch_begin + net::duration_from_seconds(s + 0.5);
+      if (!session.in_launch(mid) && mid < session.end)
+        stage_cm[p].add(static_cast<ml::Label>(session.stage_label_at(mid)),
+                        predicted);
+    }
+    const auto inferred = suite.pattern.infer_unchecked(transitions);
+    ++pattern_total[p];
+    if ((inferred.label == core::kPatternContinuous) == (p == 0))
+      ++pattern_correct[p];
+  }
+
+  const char* kPatterns[] = {"Continuous-play", "Spectate-and-play"};
+  const char* kStages[] = {"Active", "Passive", "Idle"};
+  std::printf("%-20s %8s   %-14s %8s\n", "Gameplay pattern", "Accur.",
+              "Player stage", "Accur.");
+  for (std::size_t p = 0; p < 2; ++p) {
+    const double pattern_acc =
+        static_cast<double>(pattern_correct[p]) /
+        static_cast<double>(pattern_total[p]);
+    for (std::size_t s = 0; s < 3; ++s) {
+      std::printf("%-20s %8s   %-14s %7.1f%%\n",
+                  s == 0 ? kPatterns[p] : "",
+                  s == 0 ? bench::pct(pattern_acc).c_str() : "", kStages[s],
+                  100 * stage_cm[p].per_class_accuracy(
+                            static_cast<ml::Label>(s)));
+    }
+  }
+
+  std::puts("\nShape check (paper): stage accuracy 92-98% per label for"
+            " both gameplay types (idle easiest, passive hardest);"
+            " pattern inference ~96-97% per type.");
+  return 0;
+}

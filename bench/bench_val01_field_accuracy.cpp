@@ -1,0 +1,89 @@
+// Reproduces the paper's §5 pre-deployment validation: classified game
+// titles checked against the cloud server logs (here: simulator ground
+// truth) over a deployment-scale session mix — overall accuracy among
+// confident verdicts, per-title accuracy, coverage, and how often
+// long-tail titles correctly fall through to "unknown".
+#include <cstdio>
+#include <map>
+
+#include "common/bench_support.hpp"
+#include "sim/fleet.hpp"
+
+using namespace cgctx;
+
+int main() {
+  std::puts("== §5 validation: field title-classification accuracy ==\n");
+  const core::ModelSuite& suite = bench::bench_models();
+
+  sim::FleetOptions options;
+  options.seed = 555;
+  options.duration_scale = 0.05;  // only the launch window matters here
+  sim::FleetSampler sampler(options);
+  const sim::SessionGenerator generator;
+
+  struct TitleTally {
+    std::size_t sessions = 0;
+    std::size_t confident = 0;
+    std::size_t correct = 0;
+  };
+  std::map<std::string, TitleTally> per_title;
+  std::size_t tail_sessions = 0;
+  std::size_t tail_unknown = 0;
+
+  const int n = 1200;
+  for (int i = 0; i < n; ++i) {
+    const sim::SessionSpec spec = sampler.sample();
+    const sim::LabeledSession session = generator.generate_slots_only(spec);
+    const auto result =
+        suite.title.classify(session.packets, session.launch_begin);
+    const bool in_catalog =
+        static_cast<std::size_t>(spec.title) < sim::kNumPopularTitles;
+    if (!in_catalog) {
+      ++tail_sessions;
+      if (!result.label) ++tail_unknown;
+      continue;
+    }
+    TitleTally& tally = per_title[sim::info(spec.title).name];
+    ++tally.sessions;
+    if (result.label) {
+      ++tally.confident;
+      if (result.class_name == sim::info(spec.title).name) ++tally.correct;
+    }
+  }
+
+  std::printf("%-20s %9s %10s %10s %10s\n", "Game title", "sessions",
+              "confident", "correct", "accuracy");
+  std::size_t total_sessions = 0;
+  std::size_t total_confident = 0;
+  std::size_t total_correct = 0;
+  for (const auto& [name, tally] : per_title) {
+    total_sessions += tally.sessions;
+    total_confident += tally.confident;
+    total_correct += tally.correct;
+    std::printf("%-20s %9zu %10zu %10zu %9.1f%%\n", name.c_str(),
+                tally.sessions, tally.confident, tally.correct,
+                tally.confident > 0
+                    ? 100.0 * static_cast<double>(tally.correct) /
+                          static_cast<double>(tally.confident)
+                    : 0.0);
+  }
+  std::printf("\ncatalog sessions: %zu | confident verdicts: %zu (%.1f%%"
+              " coverage) | accuracy among confident: %.1f%%\n",
+              total_sessions, total_confident,
+              100.0 * static_cast<double>(total_confident) /
+                  static_cast<double>(total_sessions),
+              total_confident > 0
+                  ? 100.0 * static_cast<double>(total_correct) /
+                        static_cast<double>(total_confident)
+                  : 0.0);
+  std::printf("long-tail sessions: %zu | correctly left 'unknown': %.1f%%\n",
+              tail_sessions,
+              tail_sessions > 0
+                  ? 100.0 * static_cast<double>(tail_unknown) /
+                        static_cast<double>(tail_sessions)
+                  : 0.0);
+  std::puts("\nShape check (paper): overall accuracy above ~95% among the"
+            " popular titles, consistent with the lab evaluation; unknown"
+            " titles fall back to pattern inference.");
+  return 0;
+}

@@ -1,0 +1,156 @@
+#include "bench_support.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace cgctx::bench {
+
+namespace {
+
+/// Bump when the simulator or feature pipeline changes in a way that
+/// invalidates previously trained models.
+constexpr const char* kCacheVersion = "cgctx-bench-v7";
+
+const std::filesystem::path kCacheDir = "cgctx_bench_model_cache";
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return in ? os.str() : std::string{};
+}
+
+bool write_file(const std::filesystem::path& path, const std::string& text) {
+  std::ofstream out(path, std::ios::trunc);
+  out << text;
+  return static_cast<bool>(out);
+}
+
+core::ModelSuite train_and_cache() {
+  std::fprintf(stderr,
+               "[bench] training production-scale models (cached in %s)...\n",
+               kCacheDir.string().c_str());
+  const auto start = std::chrono::steady_clock::now();
+  core::TrainingBudget budget;
+  budget.lab_scale = 1.0;
+  budget.gameplay_seconds = 180.0;
+  budget.augment_copies = 2;
+  double title_acc = 0.0;
+  double stage_acc = 0.0;
+  double pattern_acc = 0.0;
+  core::ModelSuite suite =
+      core::train_model_suite(budget, &title_acc, &stage_acc, &pattern_acc);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::seconds>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  std::fprintf(stderr,
+               "[bench] trained in %llds (held-out: title %.1f%%, stage "
+               "%.1f%%, pattern %.1f%%)\n",
+               static_cast<long long>(elapsed), 100 * title_acc,
+               100 * stage_acc, 100 * pattern_acc);
+
+  std::error_code ec;
+  std::filesystem::create_directories(kCacheDir, ec);
+  if (!ec) {
+    const bool ok = write_file(kCacheDir / "version", kCacheVersion) &&
+                    write_file(kCacheDir / "title.model",
+                               suite.title.serialize()) &&
+                    write_file(kCacheDir / "stage.model",
+                               suite.stage.serialize()) &&
+                    write_file(kCacheDir / "pattern.model",
+                               suite.pattern.serialize());
+    if (!ok)
+      std::fprintf(stderr, "[bench] warning: model cache write failed\n");
+  }
+  return suite;
+}
+
+core::ModelSuite load_or_train() {
+  if (read_file(kCacheDir / "version") == kCacheVersion) {
+    try {
+      core::ModelSuite suite;
+      suite.title = core::TitleClassifier::deserialize(
+          read_file(kCacheDir / "title.model"));
+      suite.stage = core::StageClassifier::deserialize(
+          read_file(kCacheDir / "stage.model"));
+      suite.pattern = core::PatternInferrer::deserialize(
+          read_file(kCacheDir / "pattern.model"));
+      std::fprintf(stderr, "[bench] loaded cached models from %s\n",
+                   kCacheDir.string().c_str());
+      return suite;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "[bench] cache unreadable (%s); retraining\n",
+                   e.what());
+    }
+  }
+  return train_and_cache();
+}
+
+}  // namespace
+
+const core::ModelSuite& bench_models() {
+  static const core::ModelSuite suite = load_or_train();
+  return suite;
+}
+
+FleetMeasurement run_fleet(const FleetRunOptions& options) {
+  const core::ModelSuite& suite = bench_models();
+  const core::RealtimePipeline pipeline(suite.models(),
+                                        core::default_pipeline_params());
+  sim::FleetOptions fleet_options;
+  fleet_options.seed = options.seed;
+  fleet_options.duration_scale = options.duration_scale;
+  sim::FleetSampler sampler(fleet_options);
+  const sim::SessionGenerator generator;
+
+  FleetMeasurement out;
+  for (std::size_t i = 0; i < options.sessions; ++i) {
+    const sim::SessionSpec spec = sampler.sample();
+    const sim::LabeledSession session = generator.generate_slots_only(spec);
+    const core::SessionReport report = pipeline.process_session(session);
+    ++out.total_sessions;
+
+    const bool in_catalog =
+        static_cast<std::size_t>(spec.title) < sim::kNumPopularTitles;
+    if (in_catalog) {
+      ++out.catalog_sessions;
+      if (report.title.label) {
+        ++out.confident;
+        if (report.title.class_name == sim::info(spec.title).name)
+          ++out.confident_correct;
+      }
+    }
+
+    if (report.title.label) {
+      // Keep only field-validated rows in the per-title view, as the
+      // paper validates against server logs before reporting.
+      if (in_catalog && report.title.class_name == sim::info(spec.title).name)
+        out.by_title.add(telemetry::summarize(report, report.title.class_name));
+    } else if (report.pattern) {
+      out.by_pattern.add(telemetry::summarize(
+          report, core::pattern_class_names()[static_cast<std::size_t>(
+                      report.pattern->label)]));
+    }
+  }
+  return out;
+}
+
+std::string bar(double value, double max_value, std::size_t width) {
+  const double fraction =
+      max_value > 0.0 ? std::min(1.0, value / max_value) : 0.0;
+  const auto filled = static_cast<std::size_t>(fraction * width);
+  std::string out(filled, '#');
+  out.resize(width, ' ');
+  return out;
+}
+
+std::string pct(double fraction) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%5.1f%%", 100.0 * fraction);
+  return buf;
+}
+
+}  // namespace cgctx::bench

@@ -1,0 +1,55 @@
+// Trains the full model suite at lab scale (the 531-session Table 2 plan)
+// and persists the three models as text files, the way the deployment
+// trains offline in the lab and ships models to the ISP's observability
+// platform.
+//
+//   ./train_models [output_dir] [lab_scale]
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "core/model_suite.hpp"
+
+using namespace cgctx;
+
+namespace {
+
+void write_file(const std::filesystem::path& path, const std::string& text) {
+  std::ofstream out(path, std::ios::trunc);
+  out << text;
+  if (!out) {
+    std::fprintf(stderr, "failed to write %s\n", path.string().c_str());
+    std::exit(1);
+  }
+  std::printf("    wrote %s (%zu bytes)\n", path.string().c_str(), text.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::filesystem::path out_dir = argc > 1 ? argv[1] : "cgctx_models";
+  const double lab_scale = argc > 2 ? std::atof(argv[2]) : 1.0;
+  std::filesystem::create_directories(out_dir);
+
+  std::printf("Training on a %.0f%%-scale Table 2 lab plan...\n",
+              100 * lab_scale);
+  core::TrainingBudget budget;
+  budget.lab_scale = lab_scale;
+  budget.gameplay_seconds = 180.0;
+  budget.augment_copies = 2;  // variation-based augmentation (paper §4.4)
+  double title_acc = 0.0;
+  double stage_acc = 0.0;
+  double pattern_acc = 0.0;
+  const core::ModelSuite suite =
+      core::train_model_suite(budget, &title_acc, &stage_acc, &pattern_acc);
+
+  std::printf("Held-out accuracy: title %.1f%% | stage %.1f%% | pattern %.1f%%\n",
+              100 * title_acc, 100 * stage_acc, 100 * pattern_acc);
+  write_file(out_dir / "title_classifier.model", suite.title.serialize());
+  write_file(out_dir / "stage_classifier.model", suite.stage.serialize());
+  write_file(out_dir / "pattern_inferrer.model", suite.pattern.serialize());
+  std::puts("Done. Load with {TitleClassifier,StageClassifier,PatternInferrer}"
+            "::deserialize().");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Umbrella header: the whole public API of the cgctx library.
+//
+// Fine-grained headers remain the preferred include style inside the
+// repo; this header exists for downstream consumers who want everything
+// in one line.
+#pragma once
+
+// Packet & flow primitives.
+#include "net/byte_io.hpp"
+#include "net/flow_table.hpp"
+#include "net/framing.hpp"
+#include "net/packet.hpp"
+#include "net/pcap.hpp"
+#include "net/pcapng.hpp"
+#include "net/rtp.hpp"
+#include "net/time.hpp"
+
+// Learning toolkit.
+#include "ml/classifier.hpp"
+#include "ml/csv.hpp"
+#include "ml/dataset.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/feature_selection.hpp"
+#include "ml/gradient_boosting.hpp"
+#include "ml/grid_search.hpp"
+#include "ml/importance.hpp"
+#include "ml/knn.hpp"
+#include "ml/metrics.hpp"
+#include "ml/random_forest.hpp"
+#include "ml/rng.hpp"
+#include "ml/scaler.hpp"
+#include "ml/svm.hpp"
+
+// Traffic simulation substrate.
+#include "sim/catalog.hpp"
+#include "sim/config.hpp"
+#include "sim/cross_traffic.hpp"
+#include "sim/fleet.hpp"
+#include "sim/lab_dataset.hpp"
+#include "sim/launch_signature.hpp"
+#include "sim/platform_anatomy.hpp"
+#include "sim/session.hpp"
+#include "sim/stage_model.hpp"
+#include "sim/volumetric.hpp"
+
+// The classification pipeline (the paper's contribution).
+#include "core/flow_detector.hpp"
+#include "core/launch_attributes.hpp"
+#include "core/model_suite.hpp"
+#include "core/multi_session_probe.hpp"
+#include "core/packet_groups.hpp"
+#include "core/pipeline.hpp"
+#include "core/qoe.hpp"
+#include "core/qoe_estimator.hpp"
+#include "core/stage_classifier.hpp"
+#include "core/streaming_analyzer.hpp"
+#include "core/title_classifier.hpp"
+#include "core/training.hpp"
+#include "core/transition_model.hpp"
+#include "core/volumetric_tracker.hpp"
+
+// Fleet telemetry & provisioning.
+#include "telemetry/aggregator.hpp"
+#include "telemetry/provisioning.hpp"
+#include "telemetry/stats.hpp"

@@ -1,0 +1,146 @@
+#include "core/launch_attributes.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cgctx::core {
+
+namespace {
+
+struct Summary {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double sum = 0.0;
+};
+
+/// Five-number-ish summary of a value list; zeros when empty.
+Summary summarize(std::vector<double>& values) {
+  Summary s;
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+  s.min = values.front();
+  s.max = values.back();
+  const std::size_t n = values.size();
+  s.median = n % 2 == 1 ? values[n / 2]
+                        : 0.5 * (values[n / 2 - 1] + values[n / 2]);
+  for (double v : values) s.sum += v;
+  s.mean = s.sum / static_cast<double>(n);
+  double var = 0.0;
+  for (double v : values) var += (v - s.mean) * (v - s.mean);
+  s.stddev = std::sqrt(var / static_cast<double>(n));
+  return s;
+}
+
+std::size_t slot_count_for(const LaunchAttributeParams& params) {
+  return static_cast<std::size_t>(
+      std::ceil(params.window_seconds / params.slot_seconds - 1e-9));
+}
+
+}  // namespace
+
+std::vector<std::string> launch_attribute_names() {
+  static const char* kGroups[] = {"full", "steady", "sparse"};
+  static const char* kStats[] = {
+      "ct_sum",     "ct_mean",   "ct_std",  "ct_max",    "ct_min",
+      "sz_mean",    "sz_std",    "sz_min",  "sz_max",    "sz_median",
+      "sz_sum",     "iat_mean",  "iat_std", "iat_min",   "iat_max",
+      "iat_median", "iat_burst"};
+  std::vector<std::string> names;
+  names.reserve(kNumLaunchAttributes);
+  for (const char* group : kGroups)
+    for (const char* stat : kStats)
+      names.push_back(std::string(group) + "_" + stat);
+  return names;
+}
+
+ml::FeatureRow launch_attributes(std::span<const net::PacketRecord> packets,
+                                 net::Timestamp flow_begin,
+                                 const LaunchAttributeParams& params) {
+  const std::size_t slots = slot_count_for(params);
+  const auto labeled = label_window(
+      packets, flow_begin, net::duration_from_seconds(params.slot_seconds),
+      slots, params.group_params);
+
+  ml::FeatureRow features;
+  features.reserve(kNumLaunchAttributes);
+
+  for (std::size_t g = 0; g < kNumPacketGroups; ++g) {
+    const auto group = static_cast<PacketGroup>(g);
+
+    // Per-slot counts, plus flattened sizes and inter-arrival times for
+    // this group across the window.
+    std::vector<double> counts(slots, 0.0);
+    std::vector<double> sizes;
+    std::vector<double> iats;
+    net::Timestamp previous = 0;
+    bool has_previous = false;
+    for (std::size_t s = 0; s < slots; ++s) {
+      for (const LabeledPacket& pkt : labeled[s]) {
+        if (pkt.group != group) continue;
+        counts[s] += 1.0;
+        sizes.push_back(static_cast<double>(pkt.payload_size));
+        if (has_previous)
+          iats.push_back(net::duration_to_millis(pkt.timestamp - previous));
+        previous = pkt.timestamp;
+        has_previous = true;
+      }
+    }
+
+    const Summary ct = summarize(counts);
+    features.push_back(ct.sum);
+    features.push_back(ct.mean);
+    features.push_back(ct.stddev);
+    features.push_back(ct.max);
+    features.push_back(ct.min);
+
+    Summary sz = summarize(sizes);
+    features.push_back(sz.mean);
+    features.push_back(sz.stddev);
+    features.push_back(sz.min);
+    features.push_back(sz.max);
+    features.push_back(sz.median);
+    features.push_back(sz.sum);
+
+    Summary iat = summarize(iats);
+    features.push_back(iat.mean);
+    features.push_back(iat.stddev);
+    features.push_back(iat.min);
+    features.push_back(iat.max);
+    features.push_back(iat.median);
+    features.push_back(iat.mean > 0.0 ? iat.stddev / iat.mean : 0.0);
+  }
+  return features;
+}
+
+ml::FeatureRow flow_volumetric_attributes(
+    std::span<const net::PacketRecord> packets, net::Timestamp flow_begin,
+    const LaunchAttributeParams& params) {
+  const std::size_t slots = slot_count_for(params);
+  const auto slot_duration = net::duration_from_seconds(params.slot_seconds);
+  ml::FeatureRow features(2 * slots, 0.0);
+  for (const net::PacketRecord& pkt : packets) {
+    if (pkt.direction != net::Direction::kDownstream) continue;
+    if (pkt.timestamp < flow_begin) continue;
+    const auto slot =
+        static_cast<std::size_t>((pkt.timestamp - flow_begin) / slot_duration);
+    if (slot >= slots) continue;
+    features[2 * slot] += 1.0;  // packet rate
+    features[2 * slot + 1] += static_cast<double>(pkt.payload_size);
+  }
+  return features;
+}
+
+std::vector<std::string> flow_volumetric_attribute_names(
+    const LaunchAttributeParams& params) {
+  std::vector<std::string> names;
+  for (std::size_t s = 0; s < slot_count_for(params); ++s) {
+    names.push_back("pkt_rate[" + std::to_string(s) + "]");
+    names.push_back("throughput[" + std::to_string(s) + "]");
+  }
+  return names;
+}
+
+}  // namespace cgctx::core

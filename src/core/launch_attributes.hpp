@@ -1,0 +1,60 @@
+// Statistical attributes of the launch-stage packet groups (paper §4.2.2).
+//
+// For the first N seconds of a streaming flow, sliced into T-second time
+// slots and group-labeled (packet_groups.hpp), we compute 51 attributes:
+// 17 statistics per packet group x 3 groups, covering the three metric
+// families the paper names (packet count, payload size, inter-arrival
+// time). The paper does not enumerate its 51 attributes; our concrete
+// instantiation per group is
+//   count over slots:   ct_sum, ct_mean, ct_std, ct_max, ct_min      (5)
+//   payload size:       sz_mean, sz_std, sz_min, sz_max, sz_median,
+//                       sz_sum                                        (6)
+//   inter-arrival time: iat_mean, iat_std, iat_min, iat_max,
+//                       iat_median, iat_burstiness (= std/mean)       (6)
+// which matches the paper's count (3 x 17 = 51) and its Fig. 7 examples
+// (e.g. full_ct_sum). Groups absent from the window contribute zeros.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/packet_groups.hpp"
+#include "ml/dataset.hpp"
+
+namespace cgctx::core {
+
+inline constexpr std::size_t kStatsPerGroup = 17;
+inline constexpr std::size_t kNumLaunchAttributes =
+    kStatsPerGroup * kNumPacketGroups;  // 51
+
+struct LaunchAttributeParams {
+  /// Observation window N, seconds (paper: 5).
+  double window_seconds = 5.0;
+  /// Time slot T, seconds (paper: 1).
+  double slot_seconds = 1.0;
+  GroupLabelerParams group_params{};
+};
+
+/// Names of the 51 attributes, e.g. "full_ct_sum", "steady_iat_median",
+/// in feature-vector order.
+std::vector<std::string> launch_attribute_names();
+
+/// Computes the 51-attribute vector from a session's packets. The window
+/// starts at `flow_begin` (the first packet of the detected streaming
+/// flow). Inter-arrival statistics are in milliseconds.
+ml::FeatureRow launch_attributes(std::span<const net::PacketRecord> packets,
+                                 net::Timestamp flow_begin,
+                                 const LaunchAttributeParams& params = {});
+
+/// The Table 3 baseline: standard flow volumetric attributes — downstream
+/// packet count and byte count per time slot over the same window
+/// (2 x slot_count features).
+ml::FeatureRow flow_volumetric_attributes(
+    std::span<const net::PacketRecord> packets, net::Timestamp flow_begin,
+    const LaunchAttributeParams& params = {});
+
+std::vector<std::string> flow_volumetric_attribute_names(
+    const LaunchAttributeParams& params = {});
+
+}  // namespace cgctx::core

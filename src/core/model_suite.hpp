@@ -1,0 +1,52 @@
+// Convenience bundle: train the three pipeline models from a synthetic
+// lab collection, the way §4.4 trains them from the lab PCAP dataset.
+//
+// Used by the examples, tests and reproduction benches so they share one
+// well-lit path from "lab plan" to "deployable models". Budgets scale the
+// lab plan so smoke tests stay fast while benches train at full size.
+#pragma once
+
+#include <cstdint>
+
+#include "core/pipeline.hpp"
+#include "core/stage_classifier.hpp"
+#include "core/title_classifier.hpp"
+#include "core/training.hpp"
+#include "core/transition_model.hpp"
+
+namespace cgctx::core {
+
+struct TrainingBudget {
+  /// Fraction of the 531-session Table 2 plan to render (1.0 = full).
+  double lab_scale = 0.25;
+  /// Gameplay seconds per rendered lab session.
+  double gameplay_seconds = 120.0;
+  /// Augmentation copies per title-classification session (§4.4).
+  std::size_t augment_copies = 1;
+  std::uint64_t seed = 20241201;
+};
+
+struct ModelSuite {
+  TitleClassifier title;
+  StageClassifier stage;
+  PatternInferrer pattern;
+
+  /// Pipeline model view over this suite.
+  [[nodiscard]] PipelineModels models() const {
+    return PipelineModels{&title, &stage, &pattern};
+  }
+};
+
+/// Trains title, stage, and pattern models on freshly generated lab data.
+/// Also returns the datasets' held-out test accuracy via out-params when
+/// non-null (quick sanity for callers that log it).
+ModelSuite train_model_suite(const TrainingBudget& budget = {},
+                             double* title_accuracy = nullptr,
+                             double* stage_accuracy = nullptr,
+                             double* pattern_accuracy = nullptr);
+
+/// Pipeline parameters preloaded with the catalog's per-title demand
+/// hints (what the deployment configures from its game database).
+PipelineParams default_pipeline_params();
+
+}  // namespace cgctx::core

@@ -1,0 +1,84 @@
+#include "core/multi_session_probe.hpp"
+
+#include <deque>
+#include <stdexcept>
+
+namespace cgctx::core {
+
+namespace {
+
+/// Pre-detection lookback: long enough to cover the detector's warmup so
+/// a new session's analyzer still sees the very first launch packets.
+constexpr net::Duration kLookback = 10 * net::kNanosPerSecond;
+
+}  // namespace
+
+MultiSessionProbe::MultiSessionProbe(PipelineModels models,
+                                     MultiSessionProbeParams params,
+                                     ReportCallback on_report,
+                                     StreamingAnalyzer::EventCallback on_event)
+    : models_(models),
+      params_(std::move(params)),
+      on_report_(std::move(on_report)),
+      on_event_(std::move(on_event)),
+      detector_(params_.pipeline.detector) {
+  if (models_.title == nullptr || models_.stage == nullptr ||
+      models_.pattern == nullptr)
+    throw std::invalid_argument("MultiSessionProbe: all models are required");
+}
+
+void MultiSessionProbe::retire(const net::FiveTuple& key) {
+  auto it = sessions_.find(key);
+  if (it == sessions_.end()) return;
+  const SessionReport report = it->second.analyzer->finish();
+  sessions_.erase(it);
+  ++reports_;
+  if (on_report_) on_report_(report);
+}
+
+void MultiSessionProbe::push(const net::PacketRecord& pkt) {
+  // Periodic idle sweep, driven by packet time.
+  if (pkt.timestamp - last_sweep_ > 5 * net::kNanosPerSecond) {
+    last_sweep_ = pkt.timestamp;
+    std::vector<net::FiveTuple> idle;
+    for (const auto& [key, session] : sessions_)
+      if (pkt.timestamp - session.last_seen > params_.session_idle_timeout)
+        idle.push_back(key);
+    for (const net::FiveTuple& key : idle) retire(key);
+  }
+
+  const net::FiveTuple key = pkt.tuple.canonical();
+  const auto live = sessions_.find(key);
+  if (live != sessions_.end()) {
+    live->second.analyzer->push(pkt);
+    live->second.last_seen = pkt.timestamp;
+    return;
+  }
+
+  // Undetected traffic: account and keep a lookback window.
+  lookback_.push_back(pkt);
+  while (!lookback_.empty() &&
+         pkt.timestamp - lookback_.front().timestamp > kLookback)
+    lookback_.pop_front();
+
+  const net::FlowState& flow = table_.add(pkt);
+  const auto detection = detector_.detect(flow);
+  if (!detection) return;
+
+  // New session: spin up an analyzer and replay its flow's lookback
+  // packets (the analyzer runs its own detection over them, which
+  // re-fires quickly since the whole flow history is present).
+  Session session;
+  session.analyzer = std::make_unique<StreamingAnalyzer>(
+      models_, params_.pipeline, on_event_);
+  session.last_seen = pkt.timestamp;
+  for (const net::PacketRecord& earlier : lookback_)
+    if (earlier.tuple.canonical() == key) session.analyzer->push(earlier);
+  sessions_.emplace(key, std::move(session));
+}
+
+void MultiSessionProbe::flush() {
+  while (!sessions_.empty()) retire(sessions_.begin()->first);
+}
+
+}  // namespace cgctx::core

@@ -1,0 +1,69 @@
+// Multi-subscriber vantage-point probe.
+//
+// The partner ISP's deployment watches all subscribers at once: the wire
+// carries many concurrent cloud-gaming sessions interleaved with
+// everything else. MultiSessionProbe demultiplexes that firehose —
+// detecting each gaming flow independently, running a per-session
+// StreamingAnalyzer, and retiring sessions when their flow goes idle —
+// so the single-session machinery scales to the deployment shape.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+
+#include "core/streaming_analyzer.hpp"
+
+namespace cgctx::core {
+
+struct MultiSessionProbeParams {
+  PipelineParams pipeline{};
+  /// A detected session whose flow has been silent this long is retired
+  /// (its report emitted).
+  net::Duration session_idle_timeout = 30 * net::kNanosPerSecond;
+};
+
+class MultiSessionProbe {
+ public:
+  using ReportCallback = std::function<void(const SessionReport&)>;
+
+  /// Models must outlive the probe. `on_report` receives each retired
+  /// session's report (and the remaining ones at flush()).
+  MultiSessionProbe(PipelineModels models, MultiSessionProbeParams params,
+                    ReportCallback on_report,
+                    StreamingAnalyzer::EventCallback on_event = {});
+
+  /// Feeds one packet from the aggregate stream (timestamp order).
+  void push(const net::PacketRecord& pkt);
+
+  /// Retires all live sessions, emitting their reports.
+  void flush();
+
+  [[nodiscard]] std::size_t live_sessions() const { return sessions_.size(); }
+  [[nodiscard]] std::size_t reports_emitted() const { return reports_; }
+
+ private:
+  struct Session {
+    std::unique_ptr<StreamingAnalyzer> analyzer;
+    net::Timestamp last_seen = 0;
+  };
+
+  void retire(const net::FiveTuple& key);
+
+  PipelineModels models_;
+  MultiSessionProbeParams params_;
+  ReportCallback on_report_;
+  StreamingAnalyzer::EventCallback on_event_;
+
+  /// Shared front-end: one flow table + detector across all traffic.
+  net::FlowTable table_;
+  CloudGamingFlowDetector detector_;
+  /// Live sessions keyed by canonical flow tuple.
+  std::map<net::FiveTuple, Session> sessions_;
+  /// Rolling lookback of not-yet-attributed traffic (last ~10 s).
+  std::deque<net::PacketRecord> lookback_;
+  std::size_t reports_ = 0;
+  net::Timestamp last_sweep_ = 0;
+};
+
+}  // namespace cgctx::core

@@ -1,0 +1,116 @@
+// The real-time analysis pipeline (paper Fig. 6), assembled.
+//
+// Packet streams (or, at ISP scale, per-second flow telemetry plus the
+// launch packet window) flow through:
+//   1. the cloud-gaming flow detector (front-end filter);
+//   2. the game title classifier over the first N seconds;
+//   3. continuous slot aggregation -> volumetric tracking -> player
+//      activity stage classification -> transition tracking -> gameplay
+//      activity pattern inference;
+//   4. objective QoE measurement and context-calibrated effective QoE.
+// The output is one SessionReport per streaming session, the record the
+// partner ISP's observability platform ingests.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "core/flow_detector.hpp"
+#include "core/qoe.hpp"
+#include "core/stage_classifier.hpp"
+#include "core/title_classifier.hpp"
+#include "core/transition_model.hpp"
+#include "core/volumetric_tracker.hpp"
+#include "sim/session.hpp"
+
+namespace cgctx::core {
+
+/// Trained models the pipeline consults (owned by the caller; the
+/// pipeline itself stays cheap to construct per session).
+struct PipelineModels {
+  const TitleClassifier* title = nullptr;
+  const StageClassifier* stage = nullptr;
+  const PatternInferrer* pattern = nullptr;
+};
+
+struct PipelineParams {
+  FlowDetectorParams detector{};
+  VolumetricTrackerParams tracker{};
+  PatternInferrerParams pattern{};  ///< thresholds (model supplies weights)
+  ObjectiveQoeThresholds qoe{};
+  /// Per-title expected peak demand (Mbps), keyed by classifier class
+  /// name; consulted by the effective-QoE context when the title is
+  /// known. Unknown titles fall back to the session's observed peak.
+  std::map<std::string, double> title_demand_mbps;
+  /// RTT assumed in packet mode when no QoS probe feed is present
+  /// (slot-fidelity telemetry carries measured RTT instead).
+  double assumed_rtt_ms = 15.0;
+};
+
+/// Pipeline outputs for one I-second slot.
+struct SlotRecord {
+  ml::Label stage = kStageIdle;
+  QoeLevel objective = QoeLevel::kGood;
+  QoeLevel effective = QoeLevel::kGood;
+  double throughput_mbps = 0.0;
+  double frame_rate = 0.0;
+  double rtt_ms = 0.0;
+  double loss_rate = 0.0;
+};
+
+/// The per-session record produced by the pipeline.
+struct SessionReport {
+  std::optional<DetectionResult> detection;
+  TitleResult title;
+  /// Most recent confident pattern inference (sharpens as the transition
+  /// matrix matures); end-of-session unconditional fallback if confidence
+  /// was never reached.
+  std::optional<PatternResult> pattern;
+  /// Seconds into the session at which the pattern inference first
+  /// cleared the confidence threshold; <0 when it never did.
+  double pattern_decided_at_s = -1.0;
+  std::vector<SlotRecord> slots;
+  QoeLevel objective_session = QoeLevel::kGood;
+  QoeLevel effective_session = QoeLevel::kGood;
+  /// Classified seconds per stage (indexed active/passive/idle).
+  std::array<double, kNumStageLabels> stage_seconds{};
+  double mean_down_mbps = 0.0;
+  double duration_s = 0.0;
+};
+
+class RealtimePipeline {
+ public:
+  RealtimePipeline(PipelineModels models, PipelineParams params);
+
+  /// Batch entry point for a raw packet stream that may interleave many
+  /// flows: detects the cloud-gaming streaming flow, then analyzes it.
+  /// Returns nullopt when no flow passes the detector.
+  [[nodiscard]] std::optional<SessionReport> process_packets(
+      std::span<const net::PacketRecord> packets) const;
+
+  /// ISP-scale entry point: launch packet window (title classification)
+  /// plus per-second flow telemetry (everything else). Detection is
+  /// assumed done upstream.
+  [[nodiscard]] SessionReport process_session(
+      const sim::LabeledSession& session) const;
+
+  [[nodiscard]] const PipelineParams& params() const { return params_; }
+
+ private:
+  /// Shared back half: title result + slot telemetry -> full report.
+  struct SlotInput {
+    RawSlotVolumetrics volumetrics;
+    double frames = 0.0;
+    double rtt_ms = 0.0;
+    double loss_rate = 0.0;
+  };
+  [[nodiscard]] SessionReport analyze(TitleResult title,
+                                      std::span<const SlotInput> slots) const;
+
+  PipelineModels models_;
+  PipelineParams params_;
+};
+
+}  // namespace cgctx::core

@@ -1,0 +1,104 @@
+#include "core/qoe.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace cgctx::core {
+
+const char* to_string(QoeLevel level) {
+  switch (level) {
+    case QoeLevel::kBad: return "bad";
+    case QoeLevel::kMedium: return "medium";
+    case QoeLevel::kGood: return "good";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Network-path gates shared by both mappings (the effective calibration
+/// does not touch latency/loss expectations, §5.3).
+QoeLevel network_gate(const SlotQoeMetrics& m,
+                      const ObjectiveQoeThresholds& t) {
+  if (m.rtt_ms > t.bad_rtt_ms || m.loss_rate > t.bad_loss)
+    return QoeLevel::kBad;
+  if (m.rtt_ms > t.medium_rtt_ms || m.loss_rate > t.medium_loss)
+    return QoeLevel::kMedium;
+  return QoeLevel::kGood;
+}
+
+QoeLevel worse(QoeLevel a, QoeLevel b) { return std::min(a, b); }
+
+/// Intrinsic demand factor of each stage relative to the session peak:
+/// {frame-rate factor, throughput factor}, indexed active/passive/idle.
+/// These mirror the relative volumetric levels of §3.3 — an idle lobby
+/// simply does not need peak bandwidth or frame rate.
+constexpr std::array<std::array<double, 2>, kNumStageLabels> kStageDemand{{
+    {1.00, 1.00},  // active
+    {0.90, 0.75},  // passive
+    {0.35, 0.12},  // idle
+}};
+
+}  // namespace
+
+QoeLevel objective_qoe(const SlotQoeMetrics& metrics,
+                       const ObjectiveQoeThresholds& thresholds) {
+  QoeLevel level = network_gate(metrics, thresholds);
+  if (metrics.frame_rate < thresholds.bad_fps ||
+      metrics.throughput_mbps < thresholds.bad_throughput_mbps)
+    return QoeLevel::kBad;
+  if (metrics.frame_rate < thresholds.good_fps ||
+      metrics.throughput_mbps < thresholds.good_throughput_mbps)
+    level = worse(level, QoeLevel::kMedium);
+  return level;
+}
+
+QoeLevel effective_qoe(const SlotQoeMetrics& metrics, const QoeContext& context,
+                       const ObjectiveQoeThresholds& thresholds) {
+  QoeLevel level = network_gate(metrics, thresholds);
+
+  const auto stage = static_cast<std::size_t>(
+      std::clamp<ml::Label>(context.stage, 0,
+                            static_cast<ml::Label>(kNumStageLabels - 1)));
+  const double expected_fps = context.expected_peak_fps * kStageDemand[stage][0];
+  const double expected_tput =
+      context.expected_peak_mbps * kStageDemand[stage][1];
+
+  // A metric passes outright when it meets the context-scaled
+  // expectation; the absolute objective thresholds remain as a backstop
+  // so a genuinely high-rate stream is never penalized for exceeding a
+  // modest expectation.
+  const bool fps_good =
+      metrics.frame_rate >= 0.75 * expected_fps ||
+      metrics.frame_rate >= thresholds.good_fps;
+  const bool fps_bad = metrics.frame_rate < 0.50 * expected_fps &&
+                       metrics.frame_rate < thresholds.good_fps;
+  const bool tput_good =
+      metrics.throughput_mbps >= 0.60 * expected_tput ||
+      metrics.throughput_mbps >= thresholds.good_throughput_mbps;
+  const bool tput_bad =
+      metrics.throughput_mbps < 0.35 * expected_tput &&
+      metrics.throughput_mbps < thresholds.bad_throughput_mbps;
+
+  if (fps_bad || tput_bad) return QoeLevel::kBad;
+  if (!fps_good || !tput_good) level = worse(level, QoeLevel::kMedium);
+  return level;
+}
+
+QoeLevel session_level(const std::vector<QoeLevel>& slot_levels) {
+  std::array<std::size_t, 3> counts{};
+  for (QoeLevel level : slot_levels)
+    ++counts[static_cast<std::size_t>(level)];
+  // Majority; ties resolve toward the worse level.
+  QoeLevel best = QoeLevel::kBad;
+  std::size_t best_count = counts[0];
+  for (std::size_t i = 1; i < counts.size(); ++i) {
+    if (counts[i] > best_count) {
+      best = static_cast<QoeLevel>(i);
+      best_count = counts[i];
+    }
+  }
+  return best;
+}
+
+}  // namespace cgctx::core

@@ -1,0 +1,74 @@
+// Objective and effective QoE measurement (paper §4.1 gray box + §5.3).
+//
+// The ISP's observability module maps per-slot QoE/QoS observables
+// (streaming frame rate, throughput, latency, loss) to a three-level
+// objective QoE label using fixed expected ranges — e.g. frame rate below
+// 30 fps or throughput below 8 Mbps is "bad". The paper's contribution is
+// the *effective* QoE calibration: once the gameplay context (title
+// demand profile and current player activity stage) is known, reasonable
+// drops in frame rate and throughput during low-demand titles or
+// idle/passive stages are no longer penalized, while the latency and loss
+// gates stay exactly as they were.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/stage_classifier.hpp"
+
+namespace cgctx::core {
+
+enum class QoeLevel : std::uint8_t { kBad = 0, kMedium = 1, kGood = 2 };
+
+const char* to_string(QoeLevel level);
+
+/// Per-slot observables the QoE models consume.
+struct SlotQoeMetrics {
+  double frame_rate = 0.0;        ///< delivered video frames per second
+  double throughput_mbps = 0.0;   ///< downstream payload throughput
+  double rtt_ms = 0.0;
+  double loss_rate = 0.0;
+};
+
+/// Fixed expected ranges of the objective QoE mapping (the values the
+/// partner ISP's observability system maintains; §5.3 quotes the
+/// bad-level examples).
+struct ObjectiveQoeThresholds {
+  double bad_fps = 30.0;           ///< below -> bad
+  double good_fps = 48.0;          ///< at/above -> good (fps-wise)
+  double bad_throughput_mbps = 8.0;
+  double good_throughput_mbps = 14.0;
+  double medium_rtt_ms = 40.0;     ///< above -> at most medium
+  double bad_rtt_ms = 70.0;        ///< above -> bad
+  double medium_loss = 0.005;
+  double bad_loss = 0.02;
+};
+
+/// Context handed to the effective QoE calibration for one slot.
+struct QoeContext {
+  /// Expected peak demand of the session (Mbps): from the classified
+  /// title's demand profile, or from the session's own observed peak for
+  /// unknown titles.
+  double expected_peak_mbps = 0.0;
+  /// Expected peak frame rate (the configured streaming fps, estimated
+  /// from the session's observed peak frame delivery).
+  double expected_peak_fps = 60.0;
+  /// Player activity stage classified for the slot.
+  ml::Label stage = kStageActive;
+};
+
+/// Maps one slot's observables to the objective QoE level.
+QoeLevel objective_qoe(const SlotQoeMetrics& metrics,
+                       const ObjectiveQoeThresholds& thresholds = {});
+
+/// Effective QoE: frame-rate and throughput expectations are scaled by
+/// the stage's intrinsic demand level and the session's expected peak;
+/// latency and loss gates are unchanged from the objective mapping.
+QoeLevel effective_qoe(const SlotQoeMetrics& metrics, const QoeContext& context,
+                       const ObjectiveQoeThresholds& thresholds = {});
+
+/// Majority vote across slot levels -> session-level label (ties resolve
+/// toward the worse level, matching a conservative operator posture).
+QoeLevel session_level(const std::vector<QoeLevel>& slot_levels);
+
+}  // namespace cgctx::core

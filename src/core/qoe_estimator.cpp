@@ -1,0 +1,99 @@
+#include "core/qoe_estimator.hpp"
+
+#include <algorithm>
+
+namespace cgctx::core {
+
+QoeEstimator::QoeEstimator(double nominal_fps)
+    : nominal_fps_(nominal_fps > 0.0 ? nominal_fps : 60.0) {}
+
+void QoeEstimator::set_nominal_fps(double fps) {
+  if (fps > 0.0) nominal_fps_ = fps;
+}
+
+void QoeEstimator::add(const net::PacketRecord& pkt) {
+  if (pkt.direction != net::Direction::kDownstream) return;
+  if (!pkt.rtp) return;
+
+  ++packets_;
+  bytes_ += pkt.payload_size;
+  ++received_;
+  // RFC 3550-style extended highest sequence number: robust to both
+  // wraparound and reordering (a late packet has a negative signed delta
+  // and does not advance the expected count, but still counts as
+  // received).
+  if (last_seq_) {
+    const auto delta = static_cast<std::int16_t>(
+        static_cast<std::uint16_t>(pkt.rtp->sequence - *last_seq_));
+    extended_seq_ += delta;
+    highest_extended_ = std::max(highest_extended_, extended_seq_);
+  } else {
+    extended_seq_ = pkt.rtp->sequence;
+    highest_extended_ = extended_seq_;
+    slot_base_extended_ = extended_seq_ - 1;  // first packet expects one
+  }
+  last_seq_ = pkt.rtp->sequence;
+
+  if (pkt.rtp->marker) {
+    ++frames_;
+    if (last_frame_end_) {
+      const double gap_ms =
+          net::duration_to_millis(pkt.timestamp - *last_frame_end_);
+      const double nominal_ms = 1000.0 / nominal_fps_;
+      lag_ms_sum_ += std::max(0.0, gap_ms - nominal_ms);
+      ++lag_samples_;
+    }
+    last_frame_end_ = pkt.timestamp;
+  }
+}
+
+EstimatedSlotQoe QoeEstimator::end_slot() {
+  EstimatedSlotQoe out;
+  out.frame_rate = static_cast<double>(frames_);
+  out.video_packets = packets_;
+  out.bytes_per_frame =
+      frames_ > 0 ? static_cast<double>(bytes_) / static_cast<double>(frames_)
+                  : 0.0;
+  const std::int64_t expected = highest_extended_ - slot_base_extended_;
+  out.loss_rate =
+      expected > static_cast<std::int64_t>(received_) && expected > 0
+          ? static_cast<double>(expected -
+                                static_cast<std::int64_t>(received_)) /
+                static_cast<double>(expected)
+          : 0.0;
+  out.frame_lag_ms =
+      lag_samples_ > 0 ? lag_ms_sum_ / static_cast<double>(lag_samples_) : 0.0;
+
+  frames_ = 0;
+  packets_ = 0;
+  bytes_ = 0;
+  received_ = 0;
+  slot_base_extended_ = highest_extended_;
+  lag_ms_sum_ = 0.0;
+  lag_samples_ = 0;
+  return out;
+}
+
+std::vector<EstimatedSlotQoe> estimate_slot_qoe(
+    std::span<const net::PacketRecord> packets, net::Timestamp begin,
+    net::Duration slot_duration, std::size_t slot_count, double nominal_fps) {
+  QoeEstimator estimator(nominal_fps);
+  std::vector<EstimatedSlotQoe> out;
+  out.reserve(slot_count);
+  std::size_t current = 0;
+  for (const net::PacketRecord& pkt : packets) {
+    if (pkt.timestamp < begin) continue;
+    const auto slot =
+        static_cast<std::size_t>((pkt.timestamp - begin) / slot_duration);
+    if (slot >= slot_count) break;  // packets are time-ordered
+    while (current < slot) {
+      out.push_back(estimator.end_slot());
+      ++current;
+    }
+    estimator.add(pkt);
+  }
+  while (out.size() < slot_count) out.push_back(estimator.end_slot());
+  return out;
+}
+
+}  // namespace cgctx::core

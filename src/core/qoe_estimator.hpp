@@ -1,0 +1,83 @@
+// Passive objective-QoE metric estimation from RTP packet streams.
+//
+// The paper's pipeline (Fig. 6, gray box) consumes objective QoE metrics
+// produced by the established method of prior work [Lyu et al., PAM'24]:
+// streaming frame rate, streaming lag, and a graphics-resolution proxy,
+// all derived passively from the flow's QoS attributes. This module
+// implements that estimator over our RTP model:
+//   - frame rate: RTP marker bits delimit video frames; frames per slot
+//     is the delivered rate;
+//   - frame lag: the inter-frame delivery interval in excess of the
+//     nominal frame period (encoder/network stall time);
+//   - loss: gaps in the RTP sequence number space;
+//   - resolution proxy: video bytes per frame, which tracks encoding
+//     resolution at a given frame rate.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace cgctx::core {
+
+/// Estimated objective QoE metrics for one I-second slot.
+struct EstimatedSlotQoe {
+  double frame_rate = 0.0;       ///< delivered frames per second
+  double frame_lag_ms = 0.0;     ///< mean inter-frame gap beyond nominal
+  double loss_rate = 0.0;        ///< fraction of downstream RTP packets lost
+  double bytes_per_frame = 0.0;  ///< resolution proxy
+  std::uint64_t video_packets = 0;
+};
+
+/// Streaming estimator: feed downstream packets in arrival order; slot
+/// boundaries are closed explicitly (matching the pipeline's slotting).
+class QoeEstimator {
+ public:
+  /// `nominal_fps` anchors the lag computation (frames later than
+  /// 1/nominal_fps after their predecessor accrue lag). It is typically
+  /// seeded with the session's configured rate or the observed peak.
+  explicit QoeEstimator(double nominal_fps = 60.0);
+
+  /// Accounts one downstream packet (upstream packets are ignored).
+  void add(const net::PacketRecord& pkt);
+
+  /// Closes the current slot and returns its metrics; resets per-slot
+  /// state but keeps cross-slot continuity (sequence numbers, last frame
+  /// boundary time).
+  EstimatedSlotQoe end_slot();
+
+  /// Re-anchors the nominal frame rate (e.g. after the observed peak
+  /// rises). Values <= 0 are ignored.
+  void set_nominal_fps(double fps);
+
+  [[nodiscard]] double nominal_fps() const { return nominal_fps_; }
+
+ private:
+  double nominal_fps_;
+  // Per-slot accumulators.
+  std::uint64_t frames_ = 0;
+  std::uint64_t packets_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t received_ = 0;
+  double lag_ms_sum_ = 0.0;
+  std::uint64_t lag_samples_ = 0;
+  // Cross-slot continuity: RFC 3550 extended sequence tracking.
+  std::optional<std::uint16_t> last_seq_;
+  std::int64_t extended_seq_ = 0;
+  std::int64_t highest_extended_ = 0;
+  std::int64_t slot_base_extended_ = 0;
+  std::optional<net::Timestamp> last_frame_end_;
+};
+
+/// Batch convenience: estimates per-slot QoE metrics for a whole session
+/// window. `begin` is the first slot's start; packets outside
+/// [begin, begin + slot_count * slot) are ignored.
+std::vector<EstimatedSlotQoe> estimate_slot_qoe(
+    std::span<const net::PacketRecord> packets, net::Timestamp begin,
+    net::Duration slot_duration, std::size_t slot_count,
+    double nominal_fps = 60.0);
+
+}  // namespace cgctx::core

@@ -1,0 +1,42 @@
+#include "core/stage_classifier.hpp"
+
+#include <stdexcept>
+
+namespace cgctx::core {
+
+std::vector<std::string> stage_class_names() {
+  return {"active", "passive", "idle"};
+}
+
+void StageClassifier::train(const ml::Dataset& data) {
+  if (data.num_features() != kNumVolumetricAttributes)
+    throw std::invalid_argument(
+        "StageClassifier::train: expected 4 volumetric attributes");
+  forest_ = ml::RandomForest(params_.forest);
+  forest_.fit(data);
+}
+
+ml::Label StageClassifier::classify(const ml::FeatureRow& attributes) const {
+  return forest_.predict(attributes);
+}
+
+ml::Classifier::Prediction StageClassifier::classify_with_confidence(
+    const ml::FeatureRow& attributes) const {
+  return forest_.predict_with_confidence(attributes);
+}
+
+std::string StageClassifier::serialize() const {
+  return "stage_classifier\n" + forest_.serialize();
+}
+
+StageClassifier StageClassifier::deserialize(const std::string& text) {
+  const auto newline = text.find('\n');
+  if (newline == std::string::npos ||
+      text.substr(0, newline) != "stage_classifier")
+    throw std::invalid_argument("StageClassifier: bad header");
+  StageClassifier out;
+  out.forest_ = ml::RandomForest::deserialize(text.substr(newline + 1));
+  return out;
+}
+
+}  // namespace cgctx::core

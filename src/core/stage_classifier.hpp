@@ -1,0 +1,57 @@
+// Player activity stage classification (paper §4.3.1).
+//
+// A Random Forest consumes the four peak-relative, EMA-smoothed
+// volumetric attributes of each I-second slot and labels the slot idle,
+// passive, or active. Stage labels use the same encoding as the
+// simulator's ground truth (0 = active, 1 = passive, 2 = idle) so
+// confusion matrices line up.
+#pragma once
+
+#include <string>
+
+#include "core/volumetric_tracker.hpp"
+#include "ml/random_forest.hpp"
+
+namespace cgctx::core {
+
+/// Stage label indices used by the classifier's datasets.
+inline constexpr ml::Label kStageActive = 0;
+inline constexpr ml::Label kStagePassive = 1;
+inline constexpr ml::Label kStageIdle = 2;
+inline constexpr std::size_t kNumStageLabels = 3;
+
+/// Class-name list matching the label indices above.
+std::vector<std::string> stage_class_names();
+
+struct StageClassifierParams {
+  ml::RandomForestParams forest{
+      .n_trees = 100, .max_depth = 10, .min_samples_split = 2,
+      .min_samples_leaf = 1, .max_features = 0, .bootstrap = true,
+      .seed = 0x57A6Eu};
+};
+
+class StageClassifier {
+ public:
+  explicit StageClassifier(StageClassifierParams params = {})
+      : params_(params), forest_(params.forest) {}
+
+  /// Trains on a dataset of 4-attribute rows (VolumetricTracker outputs)
+  /// labeled with stage indices.
+  void train(const ml::Dataset& data);
+
+  /// Classifies one processed slot.
+  [[nodiscard]] ml::Label classify(const ml::FeatureRow& attributes) const;
+  [[nodiscard]] ml::Classifier::Prediction classify_with_confidence(
+      const ml::FeatureRow& attributes) const;
+
+  [[nodiscard]] const ml::RandomForest& forest() const { return forest_; }
+
+  [[nodiscard]] std::string serialize() const;
+  static StageClassifier deserialize(const std::string& text);
+
+ private:
+  StageClassifierParams params_;
+  ml::RandomForest forest_;
+};
+
+}  // namespace cgctx::core

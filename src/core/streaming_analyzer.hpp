@@ -1,0 +1,113 @@
+// Incremental, event-driven session analysis.
+//
+// RealtimePipeline's batch entry points suit offline evaluation; an
+// inline probe sees one packet at a time and wants to be told the moment
+// something becomes known. StreamingAnalyzer wraps the same models and
+// front-end behind a push(packet) interface and surfaces classification
+// milestones as typed events:
+//   kFlowDetected    — the cloud-gaming streaming flow was identified;
+//   kTitleClassified — the five-second title verdict (or "unknown");
+//   kStageChanged    — the player activity stage flipped;
+//   kPatternInferred — the gameplay pattern cleared its confidence bar.
+// Slot-level records stream out alongside, so a caller can feed the same
+// observability backends the batch pipeline does.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <optional>
+
+#include "core/pipeline.hpp"
+#include "core/qoe_estimator.hpp"
+#include "net/flow_table.hpp"
+
+namespace cgctx::core {
+
+enum class StreamEventType : std::uint8_t {
+  kFlowDetected,
+  kTitleClassified,
+  kStageChanged,
+  kPatternInferred,
+};
+
+const char* to_string(StreamEventType type);
+
+struct StreamEvent {
+  StreamEventType type = StreamEventType::kFlowDetected;
+  /// Seconds since the detected flow began.
+  double at_seconds = 0.0;
+  /// kFlowDetected: the detection result.
+  std::optional<DetectionResult> detection;
+  /// kTitleClassified: the verdict.
+  std::optional<TitleResult> title;
+  /// kStageChanged: the new stage label.
+  std::optional<ml::Label> stage;
+  /// kPatternInferred: the inference.
+  std::optional<PatternResult> pattern;
+};
+
+class StreamingAnalyzer {
+ public:
+  using EventCallback = std::function<void(const StreamEvent&)>;
+  using SlotCallback = std::function<void(const SlotRecord&)>;
+
+  /// Models must outlive the analyzer. Callbacks may be empty.
+  StreamingAnalyzer(PipelineModels models, PipelineParams params,
+                    EventCallback on_event, SlotCallback on_slot = {});
+
+  /// Feeds one packet in arrival order. Packets of undetected flows feed
+  /// the detector; once the gaming flow is identified, only its packets
+  /// are analyzed.
+  void push(const net::PacketRecord& pkt);
+
+  /// Flushes the partially filled final slot and returns the session
+  /// report accumulated so far. The analyzer is reusable afterward
+  /// (state resets for the next session).
+  SessionReport finish();
+
+  [[nodiscard]] bool flow_detected() const { return detection_.has_value(); }
+  [[nodiscard]] bool title_classified() const { return title_done_; }
+
+ private:
+  void analyze_packet(const net::PacketRecord& pkt);
+  void close_slot();
+  void emit(StreamEvent event);
+
+  PipelineModels models_;
+  PipelineParams params_;
+  EventCallback on_event_;
+  SlotCallback on_slot_;
+
+  net::FlowTable table_;
+  CloudGamingFlowDetector detector_;
+  std::optional<DetectionResult> detection_;
+  net::Timestamp flow_begin_ = 0;
+  /// Rolling pre-detection buffer (last ~10 s of all traffic) so the
+  /// detected flow's earliest packets still reach the title window.
+  std::deque<net::PacketRecord> pre_buffer_;
+
+  // Title classification buffer (only the first N seconds are kept).
+  std::vector<net::PacketRecord> title_window_;
+  bool title_done_ = false;
+  TitleResult title_;
+
+  // Slot machinery.
+  std::size_t next_slot_ = 0;
+  RawSlotVolumetrics current_slot_;
+  QoeEstimator qoe_{60.0};
+  VolumetricTracker tracker_;
+  TransitionTracker transitions_;
+  ml::Label last_stage_ = -1;
+  std::optional<PatternResult> pattern_;
+  double pattern_decided_at_s_ = -1.0;
+
+  // Accumulated report state.
+  SessionReport report_;
+  std::vector<QoeLevel> objective_levels_;
+  std::vector<QoeLevel> effective_levels_;
+  double peak_mbps_ = 5.0;
+  double peak_fps_ = 30.0;
+  double total_mbps_ = 0.0;
+};
+
+}  // namespace cgctx::core

@@ -1,0 +1,67 @@
+#include "core/title_classifier.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace cgctx::core {
+
+void TitleClassifier::train(const ml::Dataset& data) {
+  if (data.num_features() != kNumLaunchAttributes)
+    throw std::invalid_argument(
+        "TitleClassifier::train: expected 51 launch attributes");
+  class_names_ = data.class_names();
+  forest_ = ml::RandomForest(params_.forest);
+  forest_.fit(data);
+}
+
+TitleResult TitleClassifier::classify(
+    std::span<const net::PacketRecord> packets,
+    net::Timestamp flow_begin) const {
+  return classify_features(
+      launch_attributes(packets, flow_begin, params_.attributes));
+}
+
+TitleResult TitleClassifier::classify_features(const ml::FeatureRow& row) const {
+  const auto prediction = forest_.predict_with_confidence(row);
+  TitleResult result;
+  result.confidence = prediction.confidence;
+  if (prediction.confidence >= params_.unknown_threshold) {
+    result.label = prediction.label;
+    if (static_cast<std::size_t>(prediction.label) < class_names_.size())
+      result.class_name = class_names_[static_cast<std::size_t>(prediction.label)];
+  }
+  return result;
+}
+
+std::string TitleClassifier::serialize() const {
+  std::ostringstream os;
+  os << "title_classifier " << class_names_.size() << ' '
+     << params_.unknown_threshold << ' ' << params_.attributes.window_seconds
+     << ' ' << params_.attributes.slot_seconds << ' '
+     << params_.attributes.group_params.v_fraction << '\n';
+  for (const std::string& name : class_names_) os << name << '\n';
+  os << forest_.serialize();
+  return os.str();
+}
+
+TitleClassifier TitleClassifier::deserialize(const std::string& text) {
+  std::istringstream is(text);
+  std::string tag;
+  std::size_t n_classes = 0;
+  TitleClassifierParams params;
+  is >> tag >> n_classes >> params.unknown_threshold >>
+      params.attributes.window_seconds >> params.attributes.slot_seconds >>
+      params.attributes.group_params.v_fraction;
+  if (!is || tag != "title_classifier")
+    throw std::invalid_argument("TitleClassifier: bad header");
+  is.ignore();  // trailing newline
+  TitleClassifier out(params);
+  out.class_names_.resize(n_classes);
+  for (std::string& name : out.class_names_) std::getline(is, name);
+  std::ostringstream rest;
+  rest << is.rdbuf();
+  out.forest_ = ml::RandomForest::deserialize(rest.str());
+  return out;
+}
+
+}  // namespace cgctx::core

@@ -1,0 +1,69 @@
+// Game title classification from launch traffic (paper §4.2).
+//
+// A Random Forest (500 trees, depth 10 — the paper's selected model)
+// consumes the 51 packet-group attributes of the first N=5 seconds of a
+// streaming flow and predicts the game title. Predictions whose
+// confidence falls below 40% are reported as "unknown" (§4.4.1), at which
+// point the operator falls back to gameplay-activity-pattern inference.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/launch_attributes.hpp"
+#include "ml/random_forest.hpp"
+
+namespace cgctx::core {
+
+struct TitleClassifierParams {
+  LaunchAttributeParams attributes{};
+  ml::RandomForestParams forest{
+      .n_trees = 500, .max_depth = 10, .min_samples_split = 2,
+      .min_samples_leaf = 1, .max_features = 0, .bootstrap = true,
+      .seed = 0xC1A55u};
+  /// Below this confidence the classifier answers "unknown" (paper: most
+  /// misclassified sessions had confidence < 40%).
+  double unknown_threshold = 0.40;
+};
+
+/// Classification outcome for one streaming session.
+struct TitleResult {
+  /// Label index into the training dataset's class names; nullopt when
+  /// the classifier is not confident ("unknown" title).
+  std::optional<ml::Label> label;
+  std::string class_name;  ///< "" when unknown
+  double confidence = 0.0;
+};
+
+class TitleClassifier {
+ public:
+  explicit TitleClassifier(TitleClassifierParams params = {})
+      : params_(params), forest_(params.forest) {}
+
+  /// Trains on a dataset of 51-attribute rows labeled by title. The
+  /// dataset's class names are retained for TitleResult::class_name.
+  void train(const ml::Dataset& data);
+
+  /// Classifies a session from its packets (the first N seconds past
+  /// `flow_begin` are used).
+  [[nodiscard]] TitleResult classify(
+      std::span<const net::PacketRecord> packets,
+      net::Timestamp flow_begin) const;
+
+  /// Classifies an already-extracted attribute row.
+  [[nodiscard]] TitleResult classify_features(const ml::FeatureRow& row) const;
+
+  [[nodiscard]] const TitleClassifierParams& params() const { return params_; }
+  [[nodiscard]] const ml::RandomForest& forest() const { return forest_; }
+
+  /// Persistence (forest + class names + thresholds).
+  [[nodiscard]] std::string serialize() const;
+  static TitleClassifier deserialize(const std::string& text);
+
+ private:
+  TitleClassifierParams params_;
+  ml::RandomForest forest_;
+  std::vector<std::string> class_names_;
+};
+
+}  // namespace cgctx::core

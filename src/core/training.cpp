@@ -1,0 +1,218 @@
+#include "core/training.hpp"
+
+#include <stdexcept>
+
+namespace cgctx::core {
+
+std::vector<std::string> popular_title_class_names() {
+  std::vector<std::string> names;
+  names.reserve(sim::kNumPopularTitles);
+  for (const sim::GameInfo& game : sim::popular_titles())
+    names.push_back(game.name);
+  return names;
+}
+
+void for_each_rendered_session(
+    std::span<const sim::SessionSpec> specs,
+    const std::function<void(const sim::LabeledSession&)>& fn) {
+  const sim::SessionGenerator generator;
+  for (const sim::SessionSpec& spec : specs) fn(generator.generate(spec));
+}
+
+namespace {
+
+/// Expands specs with augmentation copies and renders each, passing the
+/// session and its title label to `fn`.
+void for_each_title_example(
+    std::span<const sim::SessionSpec> specs, const TitleDatasetOptions& options,
+    const std::function<void(const sim::LabeledSession&, ml::Label)>& fn) {
+  const sim::SessionGenerator generator;
+  ml::Rng aug_rng(options.augment_seed);
+  for (const sim::SessionSpec& spec : specs) {
+    const auto title_index = static_cast<std::size_t>(spec.title);
+    if (title_index >= sim::kNumPopularTitles)
+      throw std::invalid_argument(
+          "title dataset: spec references a non-popular title");
+    const auto label = static_cast<ml::Label>(title_index);
+    fn(generator.generate(spec), label);
+    for (const sim::SessionSpec& variant :
+         sim::augment(spec, options.augment_copies, aug_rng.next_u64()))
+      fn(generator.generate(variant), label);
+  }
+}
+
+}  // namespace
+
+ml::Dataset build_title_dataset(std::span<const sim::SessionSpec> specs,
+                                const TitleDatasetOptions& options) {
+  ml::Dataset data(launch_attribute_names(), popular_title_class_names());
+  for_each_title_example(
+      specs, options, [&](const sim::LabeledSession& session, ml::Label label) {
+        data.add(launch_attributes(session.packets, session.launch_begin,
+                                   options.attributes),
+                 label);
+      });
+  return data;
+}
+
+ml::Dataset build_flow_volumetric_dataset(
+    std::span<const sim::SessionSpec> specs,
+    const TitleDatasetOptions& options) {
+  ml::Dataset data(flow_volumetric_attribute_names(options.attributes),
+                   popular_title_class_names());
+  for_each_title_example(
+      specs, options, [&](const sim::LabeledSession& session, ml::Label label) {
+        data.add(flow_volumetric_attributes(
+                     session.packets, session.launch_begin, options.attributes),
+                 label);
+      });
+  return data;
+}
+
+std::vector<RawSlotVolumetrics> aggregate_slots(
+    std::span<const net::PacketRecord> packets, net::Timestamp begin,
+    net::Duration slot_duration, std::size_t slot_count) {
+  std::vector<RawSlotVolumetrics> slots(slot_count);
+  for (const net::PacketRecord& pkt : packets) {
+    if (pkt.timestamp < begin) continue;
+    const auto slot =
+        static_cast<std::size_t>((pkt.timestamp - begin) / slot_duration);
+    if (slot >= slot_count) continue;
+    if (pkt.direction == net::Direction::kDownstream) {
+      ++slots[slot].down_packets;
+      slots[slot].down_bytes += pkt.payload_size;
+    } else {
+      ++slots[slot].up_packets;
+      slots[slot].up_bytes += pkt.payload_size;
+    }
+  }
+  return slots;
+}
+
+namespace {
+
+ml::Label stage_to_label(sim::Stage stage) {
+  switch (stage) {
+    case sim::Stage::kActive: return kStageActive;
+    case sim::Stage::kPassive: return kStagePassive;
+    case sim::Stage::kIdle: return kStageIdle;
+  }
+  return kStageIdle;
+}
+
+/// Shared row-extraction core: feeds raw slots through a tracker, labels
+/// gameplay slots with the ground-truth stage at the slot midpoint.
+std::vector<StageRow> rows_from_raw_slots(
+    const sim::LabeledSession& session,
+    const std::vector<RawSlotVolumetrics>& raw, net::Duration slot_duration,
+    const VolumetricTrackerParams& tracker_params) {
+  VolumetricTracker tracker(tracker_params);
+  std::vector<StageRow> rows;
+  for (std::size_t s = 0; s < raw.size(); ++s) {
+    const net::Timestamp mid =
+        session.launch_begin + static_cast<net::Timestamp>(s) * slot_duration +
+        slot_duration / 2;
+    const ml::FeatureRow attrs = tracker.push(raw[s]);
+    if (mid < session.gameplay_begin || mid >= session.end) continue;
+    rows.push_back(StageRow{attrs, stage_to_label(session.stage_label_at(mid))});
+  }
+  return rows;
+}
+
+}  // namespace
+
+std::vector<StageRow> stage_rows_from_slots(
+    const sim::LabeledSession& session,
+    const VolumetricTrackerParams& tracker_params) {
+  std::vector<RawSlotVolumetrics> raw;
+  raw.reserve(session.slots.size());
+  for (const sim::SlotSample& sample : session.slots)
+    raw.push_back(RawSlotVolumetrics{sample.down_bytes, sample.down_packets,
+                                     sample.up_bytes, sample.up_packets});
+  return rows_from_raw_slots(session, raw, net::kNanosPerSecond,
+                             tracker_params);
+}
+
+std::vector<StageRow> stage_rows_from_packets(
+    const sim::LabeledSession& session, double slot_seconds,
+    const VolumetricTrackerParams& tracker_params) {
+  const auto slot_duration = net::duration_from_seconds(slot_seconds);
+  const auto slot_count = static_cast<std::size_t>(
+      (session.end - session.launch_begin) / slot_duration);
+  const auto raw = aggregate_slots(session.packets, session.launch_begin,
+                                   slot_duration, slot_count);
+  return rows_from_raw_slots(session, raw, slot_duration, tracker_params);
+}
+
+ml::Dataset build_stage_dataset(std::span<const sim::SessionSpec> specs,
+                                const VolumetricTrackerParams& tracker_params) {
+  ml::Dataset data(volumetric_attribute_names(), stage_class_names());
+  const sim::SessionGenerator generator;
+  for (const sim::SessionSpec& spec : specs) {
+    const sim::LabeledSession session = generator.generate_slots_only(spec);
+    for (StageRow& row : stage_rows_from_slots(session, tracker_params))
+      data.add(std::move(row.attributes), row.stage);
+  }
+  return data;
+}
+
+ml::Dataset build_pattern_dataset(std::span<const sim::SessionSpec> specs,
+                                  const StageClassifier& stages,
+                                  const VolumetricTrackerParams& tracker_params,
+                                  bool include_prefix_horizons) {
+  ml::Dataset data(transition_attribute_names(), pattern_class_names());
+  const sim::SessionGenerator generator;
+  for (const sim::SessionSpec& spec : specs) {
+    const sim::LabeledSession session = generator.generate_slots_only(spec);
+    // Mirror the deployment pipeline exactly: every slot (launch included)
+    // is classified and fed to the transition tracker, so the training
+    // distribution matches what inference sees. Additionally, snapshot
+    // the matrix at several mid-session horizons: the deployed inferrer
+    // evaluates *partial* sessions continuously, and training only on
+    // complete-session matrices would leave those prefixes
+    // out-of-distribution (producing confidently wrong early verdicts).
+    VolumetricTracker tracker(tracker_params);
+    TransitionTracker transitions;
+    const auto pattern = sim::info(spec.title).pattern;
+    const ml::Label label =
+        pattern == sim::ActivityPattern::kContinuousPlay ? kPatternContinuous
+                                                         : kPatternSpectate;
+    const std::size_t total = session.slots.size();
+    std::size_t next_checkpoint_index = 0;
+    // Dense early checkpoints (the pipeline may attempt inference from
+    // two minutes in) plus proportional mid/late ones.
+    const std::array<std::size_t, 6> checkpoints =
+        include_prefix_horizons
+            ? std::array<std::size_t, 6>{120, 210,
+                                         std::max<std::size_t>(330, total / 4),
+                                         std::max<std::size_t>(480,
+                                                               total * 2 / 5),
+                                         std::max<std::size_t>(700,
+                                                               total * 7 / 10),
+                                         total}
+            : std::array<std::size_t, 6>{total, total, total,
+                                         total, total, total};
+    std::size_t last_emitted_checkpoint = 0;
+    for (std::size_t s = 0; s < total; ++s) {
+      const sim::SlotSample& sample = session.slots[s];
+      const ml::FeatureRow attrs = tracker.push(
+          RawSlotVolumetrics{sample.down_bytes, sample.down_packets,
+                             sample.up_bytes, sample.up_packets});
+      transitions.push(stages.classify(attrs));
+      while (next_checkpoint_index < checkpoints.size() &&
+             s + 1 == std::min(checkpoints[next_checkpoint_index], total)) {
+        // Checkpoints can collapse onto the same slot (short sessions,
+        // final-only mode); emit each distinct horizon once.
+        if (transitions.transition_count() > 0 &&
+            s + 1 != last_emitted_checkpoint) {
+          data.add(transitions.probabilities(), label);
+          last_emitted_checkpoint = s + 1;
+        }
+        ++next_checkpoint_index;
+      }
+    }
+  }
+  return data;
+}
+
+}  // namespace cgctx::core

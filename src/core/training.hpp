@@ -1,0 +1,92 @@
+// Dataset builders bridging the simulator's labeled sessions to the
+// classifiers' training formats (paper §4.4 evaluation methodology,
+// including the variation-based augmentation step).
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "core/launch_attributes.hpp"
+#include "core/stage_classifier.hpp"
+#include "core/transition_model.hpp"
+#include "core/volumetric_tracker.hpp"
+#include "sim/lab_dataset.hpp"
+#include "sim/session.hpp"
+
+namespace cgctx::core {
+
+/// Class names for the popular-title classification task, index-aligned
+/// with sim::GameTitle's first thirteen values.
+std::vector<std::string> popular_title_class_names();
+
+/// Renders each spec (packet fidelity) and hands it to `fn`. The central
+/// iteration helper for dataset builders and benches that extract several
+/// feature sets per rendered session.
+void for_each_rendered_session(
+    std::span<const sim::SessionSpec> specs,
+    const std::function<void(const sim::LabeledSession&)>& fn);
+
+struct TitleDatasetOptions {
+  LaunchAttributeParams attributes{};
+  /// Additional augmented variations rendered per spec (class-preserving
+  /// seed redraws, §4.4).
+  std::size_t augment_copies = 0;
+  std::uint64_t augment_seed = 555;
+};
+
+/// Builds the 51-attribute title-classification dataset from session
+/// specs (labels = popular-title indices; specs must reference popular
+/// titles only).
+ml::Dataset build_title_dataset(std::span<const sim::SessionSpec> specs,
+                                const TitleDatasetOptions& options = {});
+
+/// Builds the Table 3 baseline dataset (per-slot downstream packet rate
+/// and throughput) from the same specs.
+ml::Dataset build_flow_volumetric_dataset(
+    std::span<const sim::SessionSpec> specs,
+    const TitleDatasetOptions& options = {});
+
+/// Aggregates a packet stream into consecutive I-second raw volumetric
+/// slots starting at `begin`.
+std::vector<RawSlotVolumetrics> aggregate_slots(
+    std::span<const net::PacketRecord> packets, net::Timestamp begin,
+    net::Duration slot_duration, std::size_t slot_count);
+
+/// One labeled stage-classification row: processed attributes + ground
+/// truth stage label.
+struct StageRow {
+  ml::FeatureRow attributes;
+  ml::Label stage;
+};
+
+/// Extracts per-slot stage rows from a slot-fidelity session (I = 1 s).
+/// Launch slots prime the tracker's peaks but produce no rows.
+std::vector<StageRow> stage_rows_from_slots(
+    const sim::LabeledSession& session,
+    const VolumetricTrackerParams& tracker_params = {});
+
+/// Extracts per-slot stage rows from a packet-fidelity session at an
+/// arbitrary slot width I (used by the Fig. 10 I-sweep).
+std::vector<StageRow> stage_rows_from_packets(
+    const sim::LabeledSession& session, double slot_seconds,
+    const VolumetricTrackerParams& tracker_params = {});
+
+/// Builds the 4-attribute stage dataset from slot-fidelity sessions.
+ml::Dataset build_stage_dataset(
+    std::span<const sim::SessionSpec> specs,
+    const VolumetricTrackerParams& tracker_params = {});
+
+/// Builds the 9-attribute pattern-inference dataset: each session is run
+/// through the (trained) stage classifier, its transition probabilities
+/// accumulated slot by slot, labeled with the title's ground truth
+/// activity pattern. With `include_prefix_horizons` (the deployment
+/// training default), each session also contributes matrix snapshots at
+/// several mid-session horizons so the inferrer learns what immature
+/// matrices look like; without it, one complete-session row per session
+/// (the shape the paper's offline evaluation uses).
+ml::Dataset build_pattern_dataset(
+    std::span<const sim::SessionSpec> specs, const StageClassifier& stages,
+    const VolumetricTrackerParams& tracker_params = {},
+    bool include_prefix_horizons = true);
+
+}  // namespace cgctx::core

@@ -1,0 +1,91 @@
+#include "core/transition_model.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "core/stage_classifier.hpp"
+
+namespace cgctx::core {
+
+std::vector<std::string> pattern_class_names() {
+  return {"continuous-play", "spectate-and-play"};
+}
+
+std::vector<std::string> transition_attribute_names() {
+  const std::vector<std::string> stages = stage_class_names();
+  std::vector<std::string> names;
+  names.reserve(kNumTransitionAttributes);
+  for (const std::string& from : stages)
+    for (const std::string& to : stages) names.push_back(from + "->" + to);
+  return names;
+}
+
+void TransitionTracker::push(ml::Label stage) {
+  if (stage < 0 || static_cast<std::size_t>(stage) >= kNumStageLabels)
+    throw std::invalid_argument("TransitionTracker::push: bad stage label");
+  if (previous_ >= 0) {
+    ++counts_[static_cast<std::size_t>(previous_) * kNumStageLabels +
+              static_cast<std::size_t>(stage)];
+    ++total_;
+  }
+  previous_ = stage;
+}
+
+void TransitionTracker::reset() {
+  counts_.fill(0);
+  total_ = 0;
+  previous_ = -1;
+}
+
+ml::FeatureRow TransitionTracker::probabilities() const {
+  ml::FeatureRow out(kNumTransitionAttributes, 0.0);
+  if (total_ == 0) return out;
+  for (std::size_t i = 0; i < kNumTransitionAttributes; ++i)
+    out[i] = static_cast<double>(counts_[i]) / static_cast<double>(total_);
+  return out;
+}
+
+void PatternInferrer::train(const ml::Dataset& data) {
+  if (data.num_features() != kNumTransitionAttributes)
+    throw std::invalid_argument(
+        "PatternInferrer::train: expected 9 transition attributes");
+  forest_ = ml::RandomForest(params_.forest);
+  forest_.fit(data);
+}
+
+PatternResult PatternInferrer::infer_unchecked(
+    const TransitionTracker& tracker) const {
+  const auto prediction = forest_.predict_with_confidence(tracker.probabilities());
+  return PatternResult{prediction.label, prediction.confidence};
+}
+
+std::optional<PatternResult> PatternInferrer::infer(
+    const TransitionTracker& tracker) const {
+  if (tracker.transition_count() < params_.min_transitions) return std::nullopt;
+  const PatternResult result = infer_unchecked(tracker);
+  if (result.confidence < params_.confidence_threshold) return std::nullopt;
+  return result;
+}
+
+std::string PatternInferrer::serialize() const {
+  return "pattern_inferrer " + std::to_string(params_.confidence_threshold) +
+         ' ' + std::to_string(params_.min_transitions) + '\n' +
+         forest_.serialize();
+}
+
+PatternInferrer PatternInferrer::deserialize(const std::string& text) {
+  const auto newline = text.find('\n');
+  if (newline == std::string::npos)
+    throw std::invalid_argument("PatternInferrer: bad payload");
+  std::istringstream header(text.substr(0, newline));
+  std::string tag;
+  PatternInferrerParams params;
+  header >> tag >> params.confidence_threshold >> params.min_transitions;
+  if (!header || tag != "pattern_inferrer")
+    throw std::invalid_argument("PatternInferrer: bad header");
+  PatternInferrer out(params);
+  out.forest_ = ml::RandomForest::deserialize(text.substr(newline + 1));
+  return out;
+}
+
+}  // namespace cgctx::core

@@ -1,0 +1,48 @@
+#include "core/volumetric_tracker.hpp"
+
+#include <algorithm>
+
+namespace cgctx::core {
+
+std::vector<std::string> volumetric_attribute_names() {
+  return {"down_throughput", "down_pkt_rate", "up_throughput", "up_pkt_rate"};
+}
+
+ml::FeatureRow VolumetricTracker::push(const RawSlotVolumetrics& slot) {
+  const std::array<double, kNumVolumetricAttributes> raw{
+      static_cast<double>(slot.down_bytes),
+      static_cast<double>(slot.down_packets),
+      static_cast<double>(slot.up_bytes),
+      static_cast<double>(slot.up_packets),
+  };
+
+  ml::FeatureRow out(kNumVolumetricAttributes);
+  for (std::size_t i = 0; i < kNumVolumetricAttributes; ++i) {
+    double value = raw[i];
+    if (params_.relative_to_peak) {
+      // Arm/update the peak, then express the slot relative to it. The
+      // floor keeps early low-traffic slots from producing denominators
+      // near zero (the "threshold dynamically decided during the game
+      // launch" of §4.3.1).
+      peak_[i] = std::max(peak_[i], raw[i]);
+      const double floor = params_.peak_floor_fraction * peak_[i];
+      const double denom = std::max(peak_[i], std::max(floor, 1.0));
+      value = raw[i] / denom;
+    }
+    if (params_.enable_ema && slots_seen_ > 0) {
+      value = params_.alpha * value + (1.0 - params_.alpha) * ema_[i];
+    }
+    ema_[i] = value;
+    out[i] = value;
+  }
+  ++slots_seen_;
+  return out;
+}
+
+void VolumetricTracker::reset() {
+  peak_.fill(0.0);
+  ema_.fill(0.0);
+  slots_seen_ = 0;
+}
+
+}  // namespace cgctx::core

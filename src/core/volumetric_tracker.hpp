@@ -1,0 +1,71 @@
+// Bidirectional volumetric attribute tracking (paper §4.3.1).
+//
+// Per I-second slot, the four standard volumetric attributes (downstream
+// throughput & packet rate, upstream throughput & packet rate) are
+// converted to fractions of the session peak observed so far (peaks are
+// armed during the launch stage and only trusted above a dynamic floor),
+// then smoothed with an exponential moving average (Eq. 1, weight alpha)
+// so short contradictory bursts — an accidental mouse sweep while
+// spectating — do not flip the stage label.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "ml/dataset.hpp"
+
+namespace cgctx::core {
+
+/// Raw per-slot volumetrics in both directions.
+struct RawSlotVolumetrics {
+  std::uint64_t down_bytes = 0;
+  std::uint64_t down_packets = 0;
+  std::uint64_t up_bytes = 0;
+  std::uint64_t up_packets = 0;
+};
+
+inline constexpr std::size_t kNumVolumetricAttributes = 4;
+
+/// Names of the four attributes, in feature order.
+std::vector<std::string> volumetric_attribute_names();
+
+struct VolumetricTrackerParams {
+  /// Classification slot I, seconds (paper: 1). Carried for reference;
+  /// the tracker itself is fed pre-aggregated slots.
+  double slot_seconds = 1.0;
+  /// EMA weight of the current slot (paper Eq. 1; 0.5 performs best).
+  double alpha = 0.5;
+  /// Peaks are trusted only above this fraction of the largest value ever
+  /// seen, so a near-silent launch cannot pin tiny denominators.
+  double peak_floor_fraction = 0.02;
+  /// Disable EMA smoothing entirely (ablation switch).
+  bool enable_ema = true;
+  /// Use absolute values instead of peak-relative ones (ablation switch;
+  /// the paper's design is relative).
+  bool relative_to_peak = true;
+};
+
+class VolumetricTracker {
+ public:
+  explicit VolumetricTracker(VolumetricTrackerParams params = {})
+      : params_(params) {}
+
+  /// Feeds one slot and returns the 4 processed attribute values
+  /// {down_throughput, down_pkt_rate, up_throughput, up_pkt_rate},
+  /// peak-relative and EMA-smoothed.
+  ml::FeatureRow push(const RawSlotVolumetrics& slot);
+
+  /// Resets all state (new session).
+  void reset();
+
+  [[nodiscard]] const VolumetricTrackerParams& params() const { return params_; }
+  [[nodiscard]] std::size_t slots_seen() const { return slots_seen_; }
+
+ private:
+  VolumetricTrackerParams params_;
+  std::array<double, kNumVolumetricAttributes> peak_{};
+  std::array<double, kNumVolumetricAttributes> ema_{};
+  std::size_t slots_seen_ = 0;
+};
+
+}  // namespace cgctx::core

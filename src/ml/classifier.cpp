@@ -1,0 +1,26 @@
+#include "ml/classifier.hpp"
+
+#include <algorithm>
+
+namespace cgctx::ml {
+
+Classifier::Prediction Classifier::predict_with_confidence(
+    const FeatureRow& row) const {
+  const ClassProbabilities probs = predict_proba(row);
+  Prediction out;
+  if (probs.empty()) return out;
+  const auto best = std::max_element(probs.begin(), probs.end());
+  out.label = static_cast<Label>(best - probs.begin());
+  out.confidence = *best;
+  return out;
+}
+
+double Classifier::score(const Dataset& data) const {
+  if (data.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < data.size(); ++i)
+    if (predict(data.row(i)) == data.label(i)) ++correct;
+  return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+}  // namespace cgctx::ml

@@ -1,0 +1,47 @@
+// Common classifier interface.
+//
+// Grid search, metrics and permutation importance operate on this
+// interface so Random Forest, SVM and KNN are interchangeable, mirroring
+// the paper's model bake-offs (Figs. 14-15).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace cgctx::ml {
+
+/// Per-class scores summing to 1 (vote shares / pseudo-probabilities).
+using ClassProbabilities = std::vector<double>;
+
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Trains on the dataset. Throws std::invalid_argument on an empty
+  /// dataset or (for re-fit) a feature-width mismatch.
+  virtual void fit(const Dataset& train) = 0;
+
+  /// Predicts the class label for one feature row.
+  [[nodiscard]] virtual Label predict(const FeatureRow& row) const = 0;
+
+  /// Per-class confidence scores; index = label. Models without a natural
+  /// probability output return a one-hot vector for their prediction.
+  [[nodiscard]] virtual ClassProbabilities predict_proba(
+      const FeatureRow& row) const = 0;
+
+  /// Convenience: predicted label and its confidence score.
+  struct Prediction {
+    Label label = -1;
+    double confidence = 0.0;
+  };
+  [[nodiscard]] Prediction predict_with_confidence(const FeatureRow& row) const;
+
+  /// Fraction of rows in `data` predicted correctly.
+  [[nodiscard]] double score(const Dataset& data) const;
+};
+
+using ClassifierPtr = std::unique_ptr<Classifier>;
+
+}  // namespace cgctx::ml

@@ -1,0 +1,137 @@
+#include "ml/csv.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace cgctx::ml {
+
+namespace {
+
+/// Quotes a cell when it contains a comma/quote/newline (RFC 4180).
+std::string quote_if_needed(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+/// Splits one CSV line honoring quotes.
+std::vector<std::string> split_line(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cell += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        cell += c;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      cells.push_back(std::move(cell));
+      cell.clear();
+    } else if (c != '\r') {
+      cell += c;
+    }
+  }
+  cells.push_back(std::move(cell));
+  return cells;
+}
+
+}  // namespace
+
+void write_csv(std::ostream& out, const Dataset& data) {
+  const std::size_t width = data.num_features();
+  // Header.
+  for (std::size_t j = 0; j < width; ++j) {
+    const std::string name = j < data.feature_names().size()
+                                 ? data.feature_names()[j]
+                                 : "f" + std::to_string(j);
+    out << quote_if_needed(name) << ',';
+  }
+  out << "label\n";
+  // Rows.
+  out.precision(17);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    for (double v : data.row(i)) out << v << ',';
+    const auto label = static_cast<std::size_t>(data.label(i));
+    out << quote_if_needed(label < data.class_names().size()
+                               ? data.class_names()[label]
+                               : std::to_string(label))
+        << '\n';
+  }
+}
+
+void write_csv(const std::filesystem::path& path, const Dataset& data) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("write_csv: cannot open " + path.string());
+  write_csv(out, data);
+  if (!out) throw std::runtime_error("write_csv: write failed");
+}
+
+Dataset read_csv(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line))
+    throw std::invalid_argument("read_csv: missing header");
+  auto header = split_line(line);
+  if (header.size() < 2 || header.back() != "label")
+    throw std::invalid_argument("read_csv: last header column must be 'label'");
+  header.pop_back();
+  const std::size_t width = header.size();
+
+  std::vector<std::string> class_names;
+  std::vector<FeatureRow> rows;
+  std::vector<std::string> row_labels;
+  while (std::getline(in, line)) {
+    if (line.empty() || line == "\r") continue;
+    const auto cells = split_line(line);
+    if (cells.size() != width + 1)
+      throw std::invalid_argument("read_csv: ragged row");
+    FeatureRow row(width);
+    for (std::size_t j = 0; j < width; ++j) {
+      const std::string& cell = cells[j];
+      const char* begin = cell.data();
+      const char* end = begin + cell.size();
+      auto [ptr, ec] = std::from_chars(begin, end, row[j]);
+      if (ec != std::errc{} || ptr != end)
+        throw std::invalid_argument("read_csv: non-numeric cell '" + cell + "'");
+    }
+    rows.push_back(std::move(row));
+    row_labels.push_back(cells.back());
+    if (std::find(class_names.begin(), class_names.end(), cells.back()) ==
+        class_names.end())
+      class_names.push_back(cells.back());
+  }
+
+  Dataset data(header, class_names);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto it =
+        std::find(class_names.begin(), class_names.end(), row_labels[i]);
+    data.add(std::move(rows[i]),
+             static_cast<Label>(it - class_names.begin()));
+  }
+  return data;
+}
+
+Dataset read_csv(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_csv: cannot open " + path.string());
+  return read_csv(in);
+}
+
+}  // namespace cgctx::ml

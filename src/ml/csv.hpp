@@ -1,0 +1,31 @@
+// CSV interchange for datasets.
+//
+// The paper shares its labeled dataset and preprocessing scripts with the
+// community; this module provides the equivalent interchange path: write
+// any ml::Dataset as a CSV (header = feature names + "label", label
+// column = class name) and read it back, so extracted attribute matrices
+// can move between this library and external analysis tooling.
+#pragma once
+
+#include <filesystem>
+#include <iosfwd>
+#include <string>
+
+#include "ml/dataset.hpp"
+
+namespace cgctx::ml {
+
+/// Writes `data` as CSV: a header row of feature names (auto-generated
+/// f0..fN when the dataset carries none) plus a trailing "label" column
+/// holding class names (or numeric labels when no names are set).
+void write_csv(std::ostream& out, const Dataset& data);
+void write_csv(const std::filesystem::path& path, const Dataset& data);
+
+/// Reads a CSV produced by write_csv (or any numeric CSV whose last
+/// column is a class name). Class names are collected in first-seen
+/// order. Throws std::invalid_argument on ragged rows, a missing header,
+/// or non-numeric feature cells.
+Dataset read_csv(std::istream& in);
+Dataset read_csv(const std::filesystem::path& path);
+
+}  // namespace cgctx::ml

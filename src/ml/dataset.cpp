@@ -1,0 +1,80 @@
+#include "ml/dataset.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cgctx::ml {
+
+void Dataset::add(FeatureRow row, Label label) {
+  if (!feature_names_.empty() && row.size() != feature_names_.size())
+    throw std::invalid_argument("Dataset::add: row width != feature_names size");
+  if (!rows_.empty() && row.size() != rows_.front().size())
+    throw std::invalid_argument("Dataset::add: inconsistent row width");
+  if (label < 0 ||
+      (!class_names_.empty() &&
+       static_cast<std::size_t>(label) >= class_names_.size()))
+    throw std::invalid_argument("Dataset::add: label out of range");
+  rows_.push_back(std::move(row));
+  labels_.push_back(label);
+}
+
+std::size_t Dataset::num_classes() const {
+  if (!class_names_.empty()) return class_names_.size();
+  Label max_label = -1;
+  for (Label l : labels_) max_label = std::max(max_label, l);
+  return static_cast<std::size_t>(max_label + 1);
+}
+
+Dataset Dataset::subset(const std::vector<std::size_t>& indices) const {
+  Dataset out(feature_names_, class_names_);
+  for (std::size_t i : indices) out.add(rows_.at(i), labels_.at(i));
+  return out;
+}
+
+std::vector<std::size_t> Dataset::class_counts() const {
+  std::vector<std::size_t> counts(num_classes(), 0);
+  for (Label l : labels_) ++counts[static_cast<std::size_t>(l)];
+  return counts;
+}
+
+namespace {
+
+/// Row indices grouped by class, each group shuffled.
+std::vector<std::vector<std::size_t>> indices_by_class(const Dataset& data,
+                                                       Rng& rng) {
+  std::vector<std::vector<std::size_t>> groups(data.num_classes());
+  for (std::size_t i = 0; i < data.size(); ++i)
+    groups[static_cast<std::size_t>(data.label(i))].push_back(i);
+  for (auto& g : groups) shuffle(g, rng);
+  return groups;
+}
+
+}  // namespace
+
+TrainTestSplit stratified_split(const Dataset& data, double test_fraction,
+                                Rng& rng) {
+  if (test_fraction <= 0.0 || test_fraction >= 1.0)
+    throw std::invalid_argument("stratified_split: fraction must be in (0,1)");
+  std::vector<std::size_t> train_idx;
+  std::vector<std::size_t> test_idx;
+  for (const auto& group : indices_by_class(data, rng)) {
+    // Round per class so small classes still contribute test examples.
+    const auto n_test = static_cast<std::size_t>(
+        static_cast<double>(group.size()) * test_fraction + 0.5);
+    for (std::size_t i = 0; i < group.size(); ++i)
+      (i < n_test ? test_idx : train_idx).push_back(group[i]);
+  }
+  return TrainTestSplit{data.subset(train_idx), data.subset(test_idx)};
+}
+
+std::vector<std::vector<std::size_t>> stratified_kfold(const Dataset& data,
+                                                       std::size_t k, Rng& rng) {
+  if (k < 2) throw std::invalid_argument("stratified_kfold: k must be >= 2");
+  std::vector<std::vector<std::size_t>> folds(k);
+  for (const auto& group : indices_by_class(data, rng))
+    for (std::size_t i = 0; i < group.size(); ++i)
+      folds[i % k].push_back(group[i]);
+  return folds;
+}
+
+}  // namespace cgctx::ml

@@ -1,0 +1,90 @@
+// Tabular dataset container and resampling utilities.
+//
+// cgctx::ml is a self-contained statistical learning toolkit implementing
+// exactly what the paper's evaluation needs: Random Forest, SVM and KNN
+// classifiers, stratified splits and k-fold cross-validation, grid search,
+// standard metrics, and permutation importance. No external ML dependency.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ml/rng.hpp"
+
+namespace cgctx::ml {
+
+/// A feature vector; all models operate on dense doubles.
+using FeatureRow = std::vector<double>;
+
+/// Class label as an index into Dataset::class_names.
+using Label = int;
+
+/// A labeled tabular dataset. Rows all share the same width; labels map
+/// into class_names. feature_names are carried for importance reports.
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(std::vector<std::string> feature_names,
+          std::vector<std::string> class_names)
+      : feature_names_(std::move(feature_names)),
+        class_names_(std::move(class_names)) {}
+
+  /// Appends one example. Throws std::invalid_argument when the row width
+  /// disagrees with feature_names (if set) or earlier rows, or the label
+  /// is out of range for class_names (if set).
+  void add(FeatureRow row, Label label);
+
+  [[nodiscard]] std::size_t size() const { return rows_.size(); }
+  [[nodiscard]] bool empty() const { return rows_.empty(); }
+  [[nodiscard]] std::size_t num_features() const {
+    return !feature_names_.empty() ? feature_names_.size()
+           : rows_.empty()         ? 0
+                                   : rows_.front().size();
+  }
+  [[nodiscard]] std::size_t num_classes() const;
+
+  [[nodiscard]] const FeatureRow& row(std::size_t i) const { return rows_[i]; }
+  [[nodiscard]] Label label(std::size_t i) const { return labels_[i]; }
+  [[nodiscard]] const std::vector<FeatureRow>& rows() const { return rows_; }
+  [[nodiscard]] const std::vector<Label>& labels() const { return labels_; }
+  [[nodiscard]] const std::vector<std::string>& feature_names() const {
+    return feature_names_;
+  }
+  [[nodiscard]] const std::vector<std::string>& class_names() const {
+    return class_names_;
+  }
+
+  /// Mutable access used by permutation importance (column shuffling).
+  std::vector<FeatureRow>& mutable_rows() { return rows_; }
+
+  /// Builds a new dataset from a subset of row indices.
+  [[nodiscard]] Dataset subset(const std::vector<std::size_t>& indices) const;
+
+  /// Count of examples per class (indexed by label).
+  [[nodiscard]] std::vector<std::size_t> class_counts() const;
+
+ private:
+  std::vector<FeatureRow> rows_;
+  std::vector<Label> labels_;
+  std::vector<std::string> feature_names_;
+  std::vector<std::string> class_names_;
+};
+
+/// Result of a train/test split.
+struct TrainTestSplit {
+  Dataset train;
+  Dataset test;
+};
+
+/// Splits preserving per-class proportions. `test_fraction` in (0,1).
+/// Deterministic given the RNG state.
+TrainTestSplit stratified_split(const Dataset& data, double test_fraction,
+                                Rng& rng);
+
+/// Index folds for stratified k-fold cross-validation: each fold is a list
+/// of test-row indices; folds partition [0, size).
+std::vector<std::vector<std::size_t>> stratified_kfold(const Dataset& data,
+                                                       std::size_t k, Rng& rng);
+
+}  // namespace cgctx::ml

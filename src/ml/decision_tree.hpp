@@ -1,0 +1,80 @@
+// CART decision tree (Gini impurity, binary splits on numeric features).
+//
+// Used standalone and as the base learner of RandomForest. Supports
+// per-split random feature subsampling so the forest can decorrelate its
+// trees, and exposes leaf class distributions so ensembles can average
+// probabilities rather than hard votes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ml/classifier.hpp"
+#include "ml/rng.hpp"
+
+namespace cgctx::ml {
+
+struct DecisionTreeParams {
+  /// Maximum tree depth; 0 means unlimited.
+  std::size_t max_depth = 0;
+  /// A node with fewer samples becomes a leaf.
+  std::size_t min_samples_split = 2;
+  /// Candidate splits leaving fewer samples on either side are rejected.
+  std::size_t min_samples_leaf = 1;
+  /// Features examined per split; 0 means all features.
+  std::size_t max_features = 0;
+  /// Seed for feature subsampling (only consulted when max_features > 0).
+  std::uint64_t seed = 1;
+};
+
+class DecisionTree final : public Classifier {
+ public:
+  explicit DecisionTree(DecisionTreeParams params = {}) : params_(params) {}
+
+  void fit(const Dataset& train) override;
+
+  /// Trains on a subset of rows (used for bootstrap samples). Indices may
+  /// repeat. The dataset supplies widths and class count.
+  void fit_on(const Dataset& train, const std::vector<std::size_t>& indices);
+
+  [[nodiscard]] Label predict(const FeatureRow& row) const override;
+  [[nodiscard]] ClassProbabilities predict_proba(
+      const FeatureRow& row) const override;
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t depth() const;
+  [[nodiscard]] const DecisionTreeParams& params() const { return params_; }
+
+  /// Round-trippable text form.
+  [[nodiscard]] std::string serialize() const;
+  static DecisionTree deserialize(const std::string& text);
+  /// Streaming variants used by RandomForest serialization.
+  void serialize_to(std::ostream& os) const;
+  static DecisionTree deserialize_from(std::istream& is);
+
+ private:
+  struct Node {
+    // Internal node when right > 0: descend left if x[feature] <= threshold.
+    std::int32_t feature = -1;
+    double threshold = 0.0;
+    std::int32_t left = 0;
+    std::int32_t right = 0;
+    // Leaf payload: class distribution (normalized counts).
+    std::vector<double> distribution;
+    [[nodiscard]] bool is_leaf() const { return right == 0; }
+  };
+
+  std::int32_t build(const Dataset& train, std::vector<std::size_t>& indices,
+                     std::size_t begin, std::size_t end, std::size_t depth,
+                     Rng& rng);
+  [[nodiscard]] const Node& descend(const FeatureRow& row) const;
+  [[nodiscard]] std::size_t depth_of(std::int32_t node) const;
+
+  DecisionTreeParams params_;
+  std::vector<Node> nodes_;
+  std::size_t num_classes_ = 0;
+  std::size_t num_features_ = 0;
+};
+
+}  // namespace cgctx::ml

@@ -1,0 +1,248 @@
+#include "ml/gradient_boosting.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "ml/rng.hpp"
+
+namespace cgctx::ml {
+
+namespace {
+
+/// A small CART regression tree fit to residuals, with Friedman's
+/// leaf-value update for multinomial deviance applied by the caller
+/// through the `leaf_value` functional.
+class RegressionTree {
+ public:
+  struct Node {
+    std::int32_t feature = -1;
+    double threshold = 0.0;
+    std::int32_t left = 0;
+    std::int32_t right = 0;
+    double value = 0.0;
+    [[nodiscard]] bool is_leaf() const { return right == 0; }
+  };
+
+  /// Fits on `indices` rows of X to targets `residual`; leaf values are
+  /// the multinomial-deviance Newton step computed from residuals and
+  /// |residual| weights.
+  void fit(const std::vector<FeatureRow>& x, const std::vector<double>& residual,
+           std::vector<std::size_t>& indices, std::size_t max_depth,
+           std::size_t min_samples_leaf, double k_classes) {
+    nodes_.clear();
+    build(x, residual, indices, 0, indices.size(), 0, max_depth,
+          min_samples_leaf, k_classes);
+  }
+
+  [[nodiscard]] double predict(const FeatureRow& row) const {
+    const Node* node = &nodes_.front();
+    while (!node->is_leaf()) {
+      node = &nodes_[static_cast<std::size_t>(
+          row[static_cast<std::size_t>(node->feature)] <= node->threshold
+              ? node->left
+              : node->right)];
+    }
+    return node->value;
+  }
+
+ private:
+  std::int32_t build(const std::vector<FeatureRow>& x,
+                     const std::vector<double>& residual,
+                     std::vector<std::size_t>& indices, std::size_t begin,
+                     std::size_t end, std::size_t depth, std::size_t max_depth,
+                     std::size_t min_samples_leaf, double k_classes) {
+    const std::size_t n = end - begin;
+    double sum = 0.0;
+    double abs_weight = 0.0;
+    for (std::size_t i = begin; i < end; ++i) {
+      const double r = residual[indices[i]];
+      sum += r;
+      abs_weight += std::abs(r) * (1.0 - std::abs(r));
+    }
+
+    auto make_leaf = [&]() -> std::int32_t {
+      Node leaf;
+      // Friedman's Newton-step leaf value for K-class deviance.
+      leaf.value = abs_weight > 1e-12
+                       ? (k_classes - 1.0) / k_classes * sum / abs_weight
+                       : 0.0;
+      nodes_.push_back(leaf);
+      return static_cast<std::int32_t>(nodes_.size() - 1);
+    };
+
+    if (depth >= max_depth || n < 2 * min_samples_leaf) return make_leaf();
+
+    // Best variance-reducing split over all features.
+    const std::size_t width = x.front().size();
+    double best_gain = 1e-12;
+    std::int32_t best_feature = -1;
+    double best_threshold = 0.0;
+    std::vector<std::pair<double, double>> column(n);  // (value, residual)
+    for (std::size_t f = 0; f < width; ++f) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t row = indices[begin + i];
+        column[i] = {x[row][f], residual[row]};
+      }
+      std::sort(column.begin(), column.end());
+      if (column.front().first == column.back().first) continue;
+      double left_sum = 0.0;
+      for (std::size_t i = 0; i + 1 < n; ++i) {
+        left_sum += column[i].second;
+        if (column[i].first == column[i + 1].first) continue;
+        const auto n_left = static_cast<double>(i + 1);
+        const double n_right = static_cast<double>(n) - n_left;
+        if (n_left < static_cast<double>(min_samples_leaf) ||
+            n_right < static_cast<double>(min_samples_leaf))
+          continue;
+        const double right_sum = sum - left_sum;
+        // Gain = increase of sum^2/n across children (variance reduction
+        // up to constants).
+        const double gain = left_sum * left_sum / n_left +
+                            right_sum * right_sum / n_right -
+                            sum * sum / static_cast<double>(n);
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_feature = static_cast<std::int32_t>(f);
+          best_threshold = 0.5 * (column[i].first + column[i + 1].first);
+        }
+      }
+    }
+    if (best_feature < 0) return make_leaf();
+
+    const auto split_feature = static_cast<std::size_t>(best_feature);
+    auto middle =
+        std::partition(indices.begin() + static_cast<std::ptrdiff_t>(begin),
+                       indices.begin() + static_cast<std::ptrdiff_t>(end),
+                       [&](std::size_t row) {
+                         return x[row][split_feature] <= best_threshold;
+                       });
+    const auto mid = static_cast<std::size_t>(middle - indices.begin());
+    if (mid == begin || mid == end) return make_leaf();
+
+    const auto node_index = static_cast<std::int32_t>(nodes_.size());
+    nodes_.emplace_back();
+    const std::int32_t left = build(x, residual, indices, begin, mid, depth + 1,
+                                    max_depth, min_samples_leaf, k_classes);
+    const std::int32_t right = build(x, residual, indices, mid, end, depth + 1,
+                                     max_depth, min_samples_leaf, k_classes);
+    Node& node = nodes_[static_cast<std::size_t>(node_index)];
+    node.feature = best_feature;
+    node.threshold = best_threshold;
+    node.left = left;
+    node.right = right;
+    return node_index;
+  }
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace
+
+struct GradientBoosting::Impl {
+  std::vector<std::vector<RegressionTree>> rounds;  // [round][class]
+  std::size_t num_classes = 0;
+  std::size_t num_features = 0;
+  std::vector<double> base_score;  // log prior per class
+};
+
+GradientBoosting::GradientBoosting(GradientBoostingParams params)
+    : params_(params) {}
+GradientBoosting::~GradientBoosting() = default;
+GradientBoosting::GradientBoosting(GradientBoosting&&) noexcept = default;
+GradientBoosting& GradientBoosting::operator=(GradientBoosting&&) noexcept =
+    default;
+
+void GradientBoosting::fit(const Dataset& train) {
+  if (train.empty())
+    throw std::invalid_argument("GradientBoosting::fit: empty training set");
+  if (params_.n_rounds == 0)
+    throw std::invalid_argument("GradientBoosting::fit: n_rounds must be > 0");
+
+  impl_ = std::make_unique<Impl>();
+  impl_->num_classes = train.num_classes();
+  impl_->num_features = train.num_features();
+  const std::size_t n = train.size();
+  const std::size_t k = impl_->num_classes;
+
+  // Base score: class log-priors.
+  impl_->base_score.assign(k, 0.0);
+  const auto counts = train.class_counts();
+  for (std::size_t c = 0; c < k; ++c)
+    impl_->base_score[c] = std::log(
+        std::max<double>(1.0, static_cast<double>(counts[c])) /
+        static_cast<double>(n));
+
+  // Raw scores per row per class, updated additively.
+  std::vector<std::vector<double>> scores(n,
+                                          std::vector<double>(k, 0.0));
+  for (std::size_t i = 0; i < n; ++i) scores[i] = impl_->base_score;
+
+  Rng rng(params_.seed);
+  std::vector<double> residual(n);
+  std::vector<std::size_t> all_rows(n);
+  std::iota(all_rows.begin(), all_rows.end(), std::size_t{0});
+
+  for (std::size_t round = 0; round < params_.n_rounds; ++round) {
+    // Row subsample for this round.
+    std::vector<std::size_t> rows = all_rows;
+    if (params_.subsample < 1.0) {
+      shuffle(rows, rng);
+      rows.resize(std::max<std::size_t>(
+          2, static_cast<std::size_t>(params_.subsample *
+                                      static_cast<double>(n))));
+    }
+
+    std::vector<RegressionTree> klass_trees(k);
+    for (std::size_t c = 0; c < k; ++c) {
+      // Residual = y_ic - p_ic under the current softmax.
+      for (std::size_t i = 0; i < n; ++i) {
+        const auto& s = scores[i];
+        const double max_s = *std::max_element(s.begin(), s.end());
+        double total = 0.0;
+        for (double v : s) total += std::exp(v - max_s);
+        const double p = std::exp(s[c] - max_s) / total;
+        residual[i] = (train.label(i) == static_cast<Label>(c) ? 1.0 : 0.0) - p;
+      }
+      std::vector<std::size_t> work = rows;
+      klass_trees[c].fit(train.rows(), residual, work, params_.max_depth,
+                         params_.min_samples_leaf, static_cast<double>(k));
+      // Update scores for ALL rows (not just the subsample).
+      for (std::size_t i = 0; i < n; ++i)
+        scores[i][c] +=
+            params_.learning_rate * klass_trees[c].predict(train.row(i));
+    }
+    impl_->rounds.push_back(std::move(klass_trees));
+  }
+}
+
+ClassProbabilities GradientBoosting::predict_proba(const FeatureRow& row) const {
+  if (!impl_) throw std::logic_error("GradientBoosting: predict before fit");
+  if (row.size() != impl_->num_features)
+    throw std::invalid_argument("GradientBoosting: feature width mismatch");
+  std::vector<double> scores = impl_->base_score;
+  for (const auto& klass_trees : impl_->rounds)
+    for (std::size_t c = 0; c < scores.size(); ++c)
+      scores[c] += params_.learning_rate * klass_trees[c].predict(row);
+  const double max_s = *std::max_element(scores.begin(), scores.end());
+  double total = 0.0;
+  for (double& s : scores) {
+    s = std::exp(s - max_s);
+    total += s;
+  }
+  for (double& s : scores) s /= total;
+  return scores;
+}
+
+Label GradientBoosting::predict(const FeatureRow& row) const {
+  const ClassProbabilities probs = predict_proba(row);
+  return static_cast<Label>(std::max_element(probs.begin(), probs.end()) -
+                            probs.begin());
+}
+
+std::size_t GradientBoosting::rounds_fitted() const {
+  return impl_ ? impl_->rounds.size() : 0;
+}
+
+}  // namespace cgctx::ml

@@ -1,0 +1,50 @@
+// Gradient-boosted decision trees (multinomial deviance, Friedman 2001).
+//
+// Not one of the paper's three candidate models — included as the obvious
+// "next classifier an operator would try" extension, and benchmarked
+// against the paper's Random Forest choice in bench_ext01_gbt. Boosting
+// fits, per round, one shallow regression tree per class to the softmax
+// residuals; inference sums the trees' scores and softmaxes them.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ml/classifier.hpp"
+
+namespace cgctx::ml {
+
+struct GradientBoostingParams {
+  std::size_t n_rounds = 100;    ///< boosting iterations
+  std::size_t max_depth = 3;     ///< depth of each regression tree
+  double learning_rate = 0.1;    ///< shrinkage per tree
+  std::size_t min_samples_leaf = 2;
+  /// Row subsampling fraction per round (stochastic gradient boosting);
+  /// 1.0 disables.
+  double subsample = 0.8;
+  std::uint64_t seed = 31;
+};
+
+class GradientBoosting final : public Classifier {
+ public:
+  explicit GradientBoosting(GradientBoostingParams params = {});
+  ~GradientBoosting() override;
+  GradientBoosting(GradientBoosting&&) noexcept;
+  GradientBoosting& operator=(GradientBoosting&&) noexcept;
+
+  void fit(const Dataset& train) override;
+  [[nodiscard]] Label predict(const FeatureRow& row) const override;
+  [[nodiscard]] ClassProbabilities predict_proba(
+      const FeatureRow& row) const override;
+
+  [[nodiscard]] const GradientBoostingParams& params() const { return params_; }
+  [[nodiscard]] std::size_t rounds_fitted() const;
+
+ private:
+  struct Impl;
+  GradientBoostingParams params_;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace cgctx::ml

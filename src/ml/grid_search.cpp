@@ -1,0 +1,54 @@
+#include "ml/grid_search.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace cgctx::ml {
+
+namespace {
+
+double kfold_accuracy(const GridCandidate& candidate, const Dataset& data,
+                      const std::vector<std::vector<std::size_t>>& folds) {
+  double total_correct = 0.0;
+  double total_rows = 0.0;
+  for (std::size_t f = 0; f < folds.size(); ++f) {
+    std::vector<std::size_t> train_idx;
+    for (std::size_t g = 0; g < folds.size(); ++g)
+      if (g != f) train_idx.insert(train_idx.end(), folds[g].begin(),
+                                   folds[g].end());
+    const Dataset train = data.subset(train_idx);
+    const Dataset test = data.subset(folds[f]);
+    if (train.empty() || test.empty()) continue;
+    ClassifierPtr model = candidate.make();
+    model->fit(train);
+    total_correct += model->score(test) * static_cast<double>(test.size());
+    total_rows += static_cast<double>(test.size());
+  }
+  return total_rows == 0.0 ? 0.0 : total_correct / total_rows;
+}
+
+}  // namespace
+
+double cross_val_score(const GridCandidate& candidate, const Dataset& data,
+                       std::size_t k_folds, Rng& rng) {
+  const auto folds = stratified_kfold(data, k_folds, rng);
+  return kfold_accuracy(candidate, data, folds);
+}
+
+GridSearchResult grid_search(const std::vector<GridCandidate>& grid,
+                             const Dataset& data, std::size_t k_folds,
+                             Rng& rng) {
+  if (grid.empty()) throw std::invalid_argument("grid_search: empty grid");
+  // One shared fold assignment keeps candidate scores comparable.
+  const auto folds = stratified_kfold(data, k_folds, rng);
+  GridSearchResult result;
+  result.scores.reserve(grid.size());
+  for (const GridCandidate& candidate : grid)
+    result.scores.push_back(kfold_accuracy(candidate, data, folds));
+  result.best_index = static_cast<std::size_t>(
+      std::max_element(result.scores.begin(), result.scores.end()) -
+      result.scores.begin());
+  return result;
+}
+
+}  // namespace cgctx::ml

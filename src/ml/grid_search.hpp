@@ -1,0 +1,44 @@
+// Cross-validated hyperparameter grid search.
+//
+// The paper fine-tunes RF (trees x depth), SVM (C x kernel) and KNN
+// (k x metric) grids with the best combination selected by accuracy
+// (Figs. 14-15). Candidates are expressed as named factory functions so
+// the search is model-agnostic.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ml/classifier.hpp"
+#include "ml/dataset.hpp"
+#include "ml/rng.hpp"
+
+namespace cgctx::ml {
+
+/// One point of the hyperparameter grid: a label for reports plus a
+/// factory building a fresh, unfitted classifier with those parameters.
+struct GridCandidate {
+  std::string name;
+  std::function<ClassifierPtr()> make;
+};
+
+/// Mean k-fold cross-validation accuracy of one candidate on `data`.
+double cross_val_score(const GridCandidate& candidate, const Dataset& data,
+                       std::size_t k_folds, Rng& rng);
+
+struct GridSearchResult {
+  /// Mean CV accuracy per candidate, same order as the input grid.
+  std::vector<double> scores;
+  std::size_t best_index = 0;
+  [[nodiscard]] double best_score() const { return scores[best_index]; }
+};
+
+/// Evaluates every candidate with stratified k-fold CV. All candidates see
+/// identical folds (the RNG is re-seeded per candidate from a fork), so
+/// scores are comparable.
+GridSearchResult grid_search(const std::vector<GridCandidate>& grid,
+                             const Dataset& data, std::size_t k_folds,
+                             Rng& rng);
+
+}  // namespace cgctx::ml

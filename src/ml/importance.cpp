@@ -1,0 +1,49 @@
+#include "ml/importance.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cgctx::ml {
+
+ImportanceResult permutation_importance(const Classifier& model,
+                                        const Dataset& data,
+                                        std::size_t repeats, Rng& rng) {
+  if (data.empty())
+    throw std::invalid_argument("permutation_importance: empty dataset");
+  if (repeats == 0)
+    throw std::invalid_argument("permutation_importance: repeats must be > 0");
+
+  ImportanceResult out;
+  out.baseline_accuracy = model.score(data);
+  const std::size_t width = data.num_features();
+  out.mean_drop.assign(width, 0.0);
+  out.stddev.assign(width, 0.0);
+
+  // Work on a mutable copy; restore the shuffled column after each repeat.
+  Dataset scratch = data;
+  auto& rows = scratch.mutable_rows();
+  std::vector<double> column(rows.size());
+
+  for (std::size_t f = 0; f < width; ++f) {
+    for (std::size_t i = 0; i < rows.size(); ++i) column[i] = rows[i][f];
+    std::vector<double> drops(repeats);
+    for (std::size_t r = 0; r < repeats; ++r) {
+      std::vector<double> shuffled = column;
+      shuffle(shuffled, rng);
+      for (std::size_t i = 0; i < rows.size(); ++i) rows[i][f] = shuffled[i];
+      drops[r] = out.baseline_accuracy - model.score(scratch);
+    }
+    for (std::size_t i = 0; i < rows.size(); ++i) rows[i][f] = column[i];
+
+    double mean = 0.0;
+    for (double d : drops) mean += d;
+    mean /= static_cast<double>(repeats);
+    double var = 0.0;
+    for (double d : drops) var += (d - mean) * (d - mean);
+    out.mean_drop[f] = mean;
+    out.stddev[f] = std::sqrt(var / static_cast<double>(repeats));
+  }
+  return out;
+}
+
+}  // namespace cgctx::ml

@@ -1,0 +1,31 @@
+// Permutation feature importance (Breiman 2001, as cited by the paper).
+//
+// Importance of attribute j = drop in model accuracy when column j of the
+// evaluation set is randomly shuffled, averaged over repeats. Used for the
+// paper's Fig. 9 (51 launch attributes) and Table 5 (9 transition
+// attributes).
+#pragma once
+
+#include <vector>
+
+#include "ml/classifier.hpp"
+#include "ml/rng.hpp"
+
+namespace cgctx::ml {
+
+struct ImportanceResult {
+  /// Mean accuracy drop per feature (may be slightly negative for
+  /// irrelevant features; callers typically clamp at 0 for display).
+  std::vector<double> mean_drop;
+  /// Standard deviation of the drop across repeats.
+  std::vector<double> stddev;
+  double baseline_accuracy = 0.0;
+};
+
+/// Computes permutation importance of every feature on `data` (typically
+/// a held-out test set) using `repeats` shuffles per feature.
+ImportanceResult permutation_importance(const Classifier& model,
+                                        const Dataset& data,
+                                        std::size_t repeats, Rng& rng);
+
+}  // namespace cgctx::ml

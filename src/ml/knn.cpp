@@ -1,0 +1,82 @@
+#include "ml/knn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cgctx::ml {
+
+const char* to_string(DistanceMetric metric) {
+  switch (metric) {
+    case DistanceMetric::kEuclidean: return "euclidean";
+    case DistanceMetric::kManhattan: return "manhattan";
+    case DistanceMetric::kChebyshev: return "chebyshev";
+  }
+  return "?";
+}
+
+double distance(const FeatureRow& a, const FeatureRow& b,
+                DistanceMetric metric) {
+  if (a.size() != b.size())
+    throw std::invalid_argument("distance: width mismatch");
+  double acc = 0.0;
+  switch (metric) {
+    case DistanceMetric::kEuclidean:
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        const double d = a[i] - b[i];
+        acc += d * d;
+      }
+      return std::sqrt(acc);
+    case DistanceMetric::kManhattan:
+      for (std::size_t i = 0; i < a.size(); ++i) acc += std::abs(a[i] - b[i]);
+      return acc;
+    case DistanceMetric::kChebyshev:
+      for (std::size_t i = 0; i < a.size(); ++i)
+        acc = std::max(acc, std::abs(a[i] - b[i]));
+      return acc;
+  }
+  return acc;
+}
+
+void Knn::fit(const Dataset& train) {
+  if (train.empty()) throw std::invalid_argument("Knn::fit: empty training set");
+  if (params_.k == 0) throw std::invalid_argument("Knn::fit: k must be > 0");
+  train_ = train;
+}
+
+ClassProbabilities Knn::predict_proba(const FeatureRow& row) const {
+  if (train_.empty()) throw std::logic_error("Knn: predict before fit");
+  const std::size_t k = std::min(params_.k, train_.size());
+
+  // Partial sort of (distance, label) pairs; exhaustive scan is fine at
+  // the dataset sizes this repo trains on.
+  std::vector<std::pair<double, Label>> dists;
+  dists.reserve(train_.size());
+  for (std::size_t i = 0; i < train_.size(); ++i)
+    dists.emplace_back(distance(row, train_.row(i), params_.metric),
+                       train_.label(i));
+  std::nth_element(dists.begin(),
+                   dists.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                   dists.end());
+
+  ClassProbabilities probs(train_.num_classes(), 0.0);
+  double total = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto& [dist, label] = dists[i];
+    // Inverse-distance weighting with a floor so exact matches dominate
+    // without dividing by zero.
+    const double w = params_.distance_weighted ? 1.0 / (dist + 1e-9) : 1.0;
+    probs[static_cast<std::size_t>(label)] += w;
+    total += w;
+  }
+  for (double& p : probs) p /= total;
+  return probs;
+}
+
+Label Knn::predict(const FeatureRow& row) const {
+  const ClassProbabilities probs = predict_proba(row);
+  return static_cast<Label>(std::max_element(probs.begin(), probs.end()) -
+                            probs.begin());
+}
+
+}  // namespace cgctx::ml

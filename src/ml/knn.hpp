@@ -1,0 +1,48 @@
+// K-Nearest-Neighbors classifier.
+//
+// One of the paper's three candidate models (§C.1/§C.2), tuned over the
+// number of neighbors and the distance metric. Kept simple (exhaustive
+// search) — the evaluation datasets are a few thousand rows.
+#pragma once
+
+#include <vector>
+
+#include "ml/classifier.hpp"
+
+namespace cgctx::ml {
+
+enum class DistanceMetric {
+  kEuclidean,
+  kManhattan,
+  kChebyshev,
+};
+
+const char* to_string(DistanceMetric metric);
+
+struct KnnParams {
+  std::size_t k = 5;
+  DistanceMetric metric = DistanceMetric::kEuclidean;
+  /// Weight votes by inverse distance instead of uniformly.
+  bool distance_weighted = false;
+};
+
+class Knn final : public Classifier {
+ public:
+  explicit Knn(KnnParams params = {}) : params_(params) {}
+
+  void fit(const Dataset& train) override;
+  [[nodiscard]] Label predict(const FeatureRow& row) const override;
+  [[nodiscard]] ClassProbabilities predict_proba(
+      const FeatureRow& row) const override;
+
+  [[nodiscard]] const KnnParams& params() const { return params_; }
+
+ private:
+  KnnParams params_;
+  Dataset train_;
+};
+
+/// Distance between two equal-width rows under the given metric.
+double distance(const FeatureRow& a, const FeatureRow& b, DistanceMetric metric);
+
+}  // namespace cgctx::ml

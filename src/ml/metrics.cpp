@@ -1,0 +1,95 @@
+#include "ml/metrics.hpp"
+
+#include <iomanip>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace cgctx::ml {
+
+void ConfusionMatrix::add(Label truth, Label predicted) {
+  if (truth < 0 || static_cast<std::size_t>(truth) >= num_classes_ ||
+      predicted < 0 || static_cast<std::size_t>(predicted) >= num_classes_)
+    throw std::invalid_argument("ConfusionMatrix::add: label out of range");
+  ++counts_[static_cast<std::size_t>(truth) * num_classes_ +
+            static_cast<std::size_t>(predicted)];
+}
+
+std::uint64_t ConfusionMatrix::count(Label truth, Label predicted) const {
+  return counts_[static_cast<std::size_t>(truth) * num_classes_ +
+                 static_cast<std::size_t>(predicted)];
+}
+
+std::uint64_t ConfusionMatrix::total() const {
+  return std::accumulate(counts_.begin(), counts_.end(), std::uint64_t{0});
+}
+
+double ConfusionMatrix::accuracy() const {
+  const std::uint64_t n = total();
+  if (n == 0) return 0.0;
+  std::uint64_t diag = 0;
+  for (std::size_t c = 0; c < num_classes_; ++c)
+    diag += counts_[c * num_classes_ + c];
+  return static_cast<double>(diag) / static_cast<double>(n);
+}
+
+double ConfusionMatrix::recall(Label c) const {
+  std::uint64_t row_total = 0;
+  for (std::size_t p = 0; p < num_classes_; ++p)
+    row_total += count(c, static_cast<Label>(p));
+  if (row_total == 0) return 0.0;
+  return static_cast<double>(count(c, c)) / static_cast<double>(row_total);
+}
+
+double ConfusionMatrix::per_class_accuracy(Label c) const { return recall(c); }
+
+double ConfusionMatrix::precision(Label c) const {
+  std::uint64_t col_total = 0;
+  for (std::size_t t = 0; t < num_classes_; ++t)
+    col_total += count(static_cast<Label>(t), c);
+  if (col_total == 0) return 0.0;
+  return static_cast<double>(count(c, c)) / static_cast<double>(col_total);
+}
+
+double ConfusionMatrix::f1(Label c) const {
+  const double p = precision(c);
+  const double r = recall(c);
+  if (p + r == 0.0) return 0.0;
+  return 2.0 * p * r / (p + r);
+}
+
+double ConfusionMatrix::macro_f1() const {
+  double sum = 0.0;
+  for (std::size_t c = 0; c < num_classes_; ++c)
+    sum += f1(static_cast<Label>(c));
+  return sum / static_cast<double>(num_classes_);
+}
+
+std::string ConfusionMatrix::to_string(
+    const std::vector<std::string>& class_names) const {
+  std::ostringstream os;
+  os << std::setw(20) << "truth \\ predicted";
+  for (std::size_t c = 0; c < num_classes_; ++c)
+    os << std::setw(10)
+       << (c < class_names.size() ? class_names[c].substr(0, 9)
+                                  : "c" + std::to_string(c));
+  os << '\n';
+  for (std::size_t t = 0; t < num_classes_; ++t) {
+    os << std::setw(20)
+       << (t < class_names.size() ? class_names[t].substr(0, 19)
+                                  : "c" + std::to_string(t));
+    for (std::size_t p = 0; p < num_classes_; ++p)
+      os << std::setw(10) << count(static_cast<Label>(t), static_cast<Label>(p));
+    os << '\n';
+  }
+  return os.str();
+}
+
+ConfusionMatrix evaluate(const Classifier& model, const Dataset& data) {
+  ConfusionMatrix cm(data.num_classes());
+  for (std::size_t i = 0; i < data.size(); ++i)
+    cm.add(data.label(i), model.predict(data.row(i)));
+  return cm;
+}
+
+}  // namespace cgctx::ml

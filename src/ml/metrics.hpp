@@ -1,0 +1,51 @@
+// Classification metrics: confusion matrix, accuracy, precision/recall/F1.
+//
+// The paper reports overall accuracy, per-class (per-title / per-stage)
+// accuracy, and uses cross-validation for model selection; all of that is
+// derived from the ConfusionMatrix here.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ml/classifier.hpp"
+#include "ml/dataset.hpp"
+
+namespace cgctx::ml {
+
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(std::size_t num_classes)
+      : num_classes_(num_classes),
+        counts_(num_classes * num_classes, 0) {}
+
+  void add(Label truth, Label predicted);
+
+  [[nodiscard]] std::size_t num_classes() const { return num_classes_; }
+  [[nodiscard]] std::uint64_t count(Label truth, Label predicted) const;
+  [[nodiscard]] std::uint64_t total() const;
+
+  /// Overall fraction correct.
+  [[nodiscard]] double accuracy() const;
+  /// Fraction of class-c examples predicted as c (a.k.a. recall; this is
+  /// what the paper's per-title "accuracy" columns report).
+  [[nodiscard]] double per_class_accuracy(Label c) const;
+  [[nodiscard]] double precision(Label c) const;
+  [[nodiscard]] double recall(Label c) const;
+  [[nodiscard]] double f1(Label c) const;
+  /// Unweighted mean of per-class F1.
+  [[nodiscard]] double macro_f1() const;
+
+  /// Text rendering with class names (for reports/benches).
+  [[nodiscard]] std::string to_string(
+      const std::vector<std::string>& class_names) const;
+
+ private:
+  std::size_t num_classes_;
+  std::vector<std::uint64_t> counts_;  // row = truth, col = predicted
+};
+
+/// Runs the classifier over `data` and tallies a confusion matrix.
+ConfusionMatrix evaluate(const Classifier& model, const Dataset& data);
+
+}  // namespace cgctx::ml

@@ -1,0 +1,132 @@
+#include "ml/random_forest.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace cgctx::ml {
+
+void RandomForest::fit(const Dataset& train) {
+  if (train.empty())
+    throw std::invalid_argument("RandomForest::fit: empty training set");
+  if (params_.n_trees == 0)
+    throw std::invalid_argument("RandomForest::fit: n_trees must be > 0");
+  trees_.clear();
+  trees_.reserve(params_.n_trees);
+  num_classes_ = train.num_classes();
+  const std::size_t n = train.size();
+
+  const std::size_t max_features =
+      params_.max_features != 0
+          ? params_.max_features
+          : std::max<std::size_t>(
+                1, static_cast<std::size_t>(
+                       std::sqrt(static_cast<double>(train.num_features()))));
+
+  Rng rng(params_.seed);
+  // Per-row OOB vote tallies across trees.
+  std::vector<std::vector<double>> oob_votes(
+      n, std::vector<double>(num_classes_, 0.0));
+  std::vector<bool> in_bag(n);
+
+  for (std::size_t t = 0; t < params_.n_trees; ++t) {
+    std::vector<std::size_t> sample(n);
+    if (params_.bootstrap) {
+      std::fill(in_bag.begin(), in_bag.end(), false);
+      for (std::size_t i = 0; i < n; ++i) {
+        sample[i] = static_cast<std::size_t>(rng.next_below(n));
+        in_bag[sample[i]] = true;
+      }
+    } else {
+      std::iota(sample.begin(), sample.end(), std::size_t{0});
+    }
+
+    DecisionTreeParams tree_params;
+    tree_params.max_depth = params_.max_depth;
+    tree_params.min_samples_split = params_.min_samples_split;
+    tree_params.min_samples_leaf = params_.min_samples_leaf;
+    tree_params.max_features = max_features;
+    tree_params.seed = rng.next_u64();
+    DecisionTree tree(tree_params);
+    tree.fit_on(train, sample);
+
+    if (params_.bootstrap) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (in_bag[i]) continue;
+        const ClassProbabilities p = tree.predict_proba(train.row(i));
+        for (std::size_t c = 0; c < num_classes_; ++c) oob_votes[i][c] += p[c];
+      }
+    }
+    trees_.push_back(std::move(tree));
+  }
+
+  if (params_.bootstrap) {
+    std::size_t evaluated = 0;
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto& votes = oob_votes[i];
+      const double total = std::accumulate(votes.begin(), votes.end(), 0.0);
+      if (total == 0.0) continue;  // row was in every bag
+      ++evaluated;
+      const auto best = std::max_element(votes.begin(), votes.end());
+      if (static_cast<Label>(best - votes.begin()) == train.label(i)) ++correct;
+    }
+    oob_score_ = evaluated == 0 ? std::numeric_limits<double>::quiet_NaN()
+                                : static_cast<double>(correct) /
+                                      static_cast<double>(evaluated);
+  }
+}
+
+ClassProbabilities RandomForest::predict_proba(const FeatureRow& row) const {
+  if (trees_.empty())
+    throw std::logic_error("RandomForest: predict before fit");
+  ClassProbabilities probs(num_classes_, 0.0);
+  for (const DecisionTree& tree : trees_) {
+    const ClassProbabilities p = tree.predict_proba(row);
+    for (std::size_t c = 0; c < num_classes_; ++c) probs[c] += p[c];
+  }
+  const auto k = static_cast<double>(trees_.size());
+  for (double& p : probs) p /= k;
+  return probs;
+}
+
+Label RandomForest::predict(const FeatureRow& row) const {
+  const ClassProbabilities probs = predict_proba(row);
+  return static_cast<Label>(std::max_element(probs.begin(), probs.end()) -
+                            probs.begin());
+}
+
+std::string RandomForest::serialize() const {
+  std::ostringstream os;
+  os << "forest " << trees_.size() << ' ' << num_classes_ << '\n';
+  os << params_.n_trees << ' ' << params_.max_depth << ' '
+     << params_.min_samples_split << ' ' << params_.min_samples_leaf << ' '
+     << params_.max_features << ' ' << (params_.bootstrap ? 1 : 0) << ' '
+     << params_.seed << '\n';
+  for (const DecisionTree& tree : trees_) tree.serialize_to(os);
+  return os.str();
+}
+
+RandomForest RandomForest::deserialize(const std::string& text) {
+  std::istringstream is(text);
+  std::string tag;
+  std::size_t tree_count = 0;
+  RandomForest out;
+  is >> tag >> tree_count >> out.num_classes_;
+  if (!is || tag != "forest")
+    throw std::invalid_argument("RandomForest: bad header");
+  int bootstrap = 0;
+  is >> out.params_.n_trees >> out.params_.max_depth >>
+      out.params_.min_samples_split >> out.params_.min_samples_leaf >>
+      out.params_.max_features >> bootstrap >> out.params_.seed;
+  out.params_.bootstrap = bootstrap != 0;
+  out.trees_.reserve(tree_count);
+  for (std::size_t t = 0; t < tree_count; ++t)
+    out.trees_.push_back(DecisionTree::deserialize_from(is));
+  if (!is) throw std::invalid_argument("RandomForest: truncated payload");
+  return out;
+}
+
+}  // namespace cgctx::ml

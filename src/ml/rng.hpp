@@ -1,0 +1,112 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component in the repo (bootstrap sampling, feature
+// subsampling, data augmentation, traffic synthesis) draws from this
+// xoshiro256** generator seeded explicitly, so whole experiments are
+// reproducible bit-for-bit from a seed. std::mt19937 is avoided because
+// its distributions are not specified cross-platform.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace cgctx::ml {
+
+/// xoshiro256** 1.0 (Blackman & Vigna), seeded via splitmix64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    // splitmix64 expansion of the seed into the four state words.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ z >> 30) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ z >> 27) * 0x94d049bb133111ebULL;
+      word = z ^ z >> 31;
+    }
+  }
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) {
+    // Debiased multiply-shift (Lemire).
+    while (true) {
+      const std::uint64_t x = next_u64();
+      const auto m = static_cast<unsigned __int128>(x) * bound;
+      const auto low = static_cast<std::uint64_t>(m);
+      if (low >= bound || low >= (-bound) % bound)
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * next_double(); }
+
+  /// Standard normal via Marsaglia polar method.
+  double normal() {
+    if (has_spare_) {
+      has_spare_ = false;
+      return spare_;
+    }
+    double u = 0;
+    double v = 0;
+    double s = 0;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double factor = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * factor;
+    has_spare_ = true;
+    return u * factor;
+  }
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Bernoulli trial.
+  bool chance(double p) { return next_double() < p; }
+
+  /// Derives an independent child generator (for parallel components).
+  Rng fork() { return Rng(next_u64() ^ 0xd3833e804f4c574bULL); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return x << k | x >> (64 - k);
+  }
+
+  std::uint64_t state_[4] = {};
+  bool has_spare_ = false;
+  double spare_ = 0.0;
+};
+
+/// Fisher-Yates shuffle of any random-access container.
+template <typename Container>
+void shuffle(Container& c, Rng& rng) {
+  for (std::size_t i = c.size(); i > 1; --i) {
+    const std::size_t j = rng.next_below(i);
+    using std::swap;
+    swap(c[i - 1], c[j]);
+  }
+}
+
+}  // namespace cgctx::ml

@@ -1,0 +1,74 @@
+#include "net/flow_table.hpp"
+
+#include <algorithm>
+
+namespace cgctx::net {
+
+void DirectionStats::add(const PacketRecord& pkt) {
+  if (packets == 0) {
+    min_payload = pkt.payload_size;
+    max_payload = pkt.payload_size;
+  } else {
+    min_payload = std::min(min_payload, pkt.payload_size);
+    max_payload = std::max(max_payload, pkt.payload_size);
+  }
+  ++packets;
+  bytes += pkt.payload_size;
+  if (pkt.rtp) {
+    ++rtp_packets;
+    if (!rtp_ssrc) rtp_ssrc = pkt.rtp->ssrc;
+    if (*rtp_ssrc == pkt.rtp->ssrc) ++rtp_same_ssrc;
+  }
+}
+
+double FlowState::downstream_bps() const {
+  const Duration span = age();
+  if (span <= 0) return 0.0;
+  return static_cast<double>(down.bytes) * 8.0 / duration_to_seconds(span);
+}
+
+double FlowState::downstream_rtp_consistency() const {
+  if (down.packets == 0) return 0.0;
+  return static_cast<double>(down.rtp_same_ssrc) /
+         static_cast<double>(down.packets);
+}
+
+const FlowState& FlowTable::add(const PacketRecord& pkt) {
+  const FiveTuple key = pkt.tuple.canonical();
+  auto [it, inserted] = flows_.try_emplace(key);
+  FlowState& state = it->second;
+  if (inserted) {
+    state.key = key;
+    state.first_seen = pkt.timestamp;
+  }
+  state.last_seen = std::max(state.last_seen, pkt.timestamp);
+  (pkt.direction == Direction::kUpstream ? state.up : state.down).add(pkt);
+  return state;
+}
+
+std::vector<FlowState> FlowTable::evict_idle(Timestamp now) {
+  std::vector<FlowState> evicted;
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    if (now - it->second.last_seen > idle_timeout_) {
+      evicted.push_back(std::move(it->second));
+      it = flows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return evicted;
+}
+
+const FlowState* FlowTable::find(const FiveTuple& tuple) const {
+  auto it = flows_.find(tuple.canonical());
+  return it == flows_.end() ? nullptr : &it->second;
+}
+
+std::vector<const FlowState*> FlowTable::flows() const {
+  std::vector<const FlowState*> out;
+  out.reserve(flows_.size());
+  for (const auto& [key, state] : flows_) out.push_back(&state);
+  return out;
+}
+
+}  // namespace cgctx::net

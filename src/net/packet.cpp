@@ -1,0 +1,46 @@
+#include "net/packet.hpp"
+
+#include <charconv>
+#include <sstream>
+
+namespace cgctx::net {
+
+const char* to_string(Direction d) {
+  return d == Direction::kUpstream ? "up" : "down";
+}
+
+std::string to_string(Ipv4Addr addr) {
+  std::ostringstream os;
+  os << (addr.value >> 24 & 0xff) << '.' << (addr.value >> 16 & 0xff) << '.'
+     << (addr.value >> 8 & 0xff) << '.' << (addr.value & 0xff);
+  return os.str();
+}
+
+std::optional<Ipv4Addr> parse_ipv4(const std::string& text) {
+  std::uint32_t value = 0;
+  const char* p = text.data();
+  const char* end = text.data() + text.size();
+  for (int i = 0; i < 4; ++i) {
+    unsigned octet = 0;
+    auto [next, ec] = std::from_chars(p, end, octet);
+    if (ec != std::errc{} || octet > 255) return std::nullopt;
+    value = value << 8 | octet;
+    p = next;
+    if (i < 3) {
+      if (p == end || *p != '.') return std::nullopt;
+      ++p;
+    }
+  }
+  if (p != end) return std::nullopt;
+  return Ipv4Addr{value};
+}
+
+std::string to_string(const FiveTuple& t) {
+  std::ostringstream os;
+  os << to_string(t.src_ip) << ':' << t.src_port << " -> "
+     << to_string(t.dst_ip) << ':' << t.dst_port << '/'
+     << (t.protocol == 17 ? "udp" : t.protocol == 6 ? "tcp" : "other");
+  return os.str();
+}
+
+}  // namespace cgctx::net

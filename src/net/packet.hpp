@@ -1,0 +1,88 @@
+// Core packet and flow-key types shared by the whole library.
+//
+// A PacketRecord is the library's lingua franca: the simulator produces
+// them, the PCAP layer converts them to and from capture bytes, and the
+// classification pipeline consumes them. It deliberately carries only the
+// metadata the paper's method uses — timestamps, sizes, direction, the
+// UDP five-tuple, and the parsed RTP header when present — not raw payload.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "net/rtp.hpp"
+#include "net/time.hpp"
+
+namespace cgctx::net {
+
+/// Direction of a packet relative to the subscriber (client) side.
+enum class Direction : std::uint8_t {
+  kUpstream,    ///< client -> cloud server (player inputs)
+  kDownstream,  ///< cloud server -> client (game video/audio)
+};
+
+/// Returns "up" or "down".
+const char* to_string(Direction d);
+
+/// IPv4 address in host byte order.
+struct Ipv4Addr {
+  std::uint32_t value = 0;
+
+  static constexpr Ipv4Addr from_octets(std::uint8_t a, std::uint8_t b,
+                                        std::uint8_t c, std::uint8_t d) {
+    return Ipv4Addr{static_cast<std::uint32_t>(a) << 24 |
+                    static_cast<std::uint32_t>(b) << 16 |
+                    static_cast<std::uint32_t>(c) << 8 | d};
+  }
+
+  auto operator<=>(const Ipv4Addr&) const = default;
+};
+
+/// Renders dotted-quad notation, e.g. "10.0.0.1".
+std::string to_string(Ipv4Addr addr);
+
+/// Parses dotted-quad notation; nullopt on malformed input.
+std::optional<Ipv4Addr> parse_ipv4(const std::string& text);
+
+/// UDP/TCP flow five-tuple. For cloud-gaming streaming flows the protocol
+/// is always UDP (17), but the field is kept so cross-traffic (TCP web
+/// flows) can share the flow table.
+struct FiveTuple {
+  Ipv4Addr src_ip;
+  Ipv4Addr dst_ip;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t protocol = 17;  // IPPROTO_UDP
+
+  auto operator<=>(const FiveTuple&) const = default;
+
+  /// The same flow seen from the opposite direction.
+  [[nodiscard]] FiveTuple reversed() const {
+    return FiveTuple{dst_ip, src_ip, dst_port, src_port, protocol};
+  }
+
+  /// Canonical form: the lexicographically smaller of {this, reversed()},
+  /// so both directions of one conversation map to one flow-table key.
+  [[nodiscard]] FiveTuple canonical() const {
+    FiveTuple rev = reversed();
+    return *this < rev ? *this : rev;
+  }
+};
+
+std::string to_string(const FiveTuple& t);
+
+/// One observed packet, as used by the classification pipeline.
+struct PacketRecord {
+  Timestamp timestamp = 0;        ///< arrival time, ns since trace epoch
+  Direction direction = Direction::kDownstream;
+  FiveTuple tuple;                ///< as seen on the wire (src = sender)
+  std::uint32_t payload_size = 0; ///< application payload bytes (above UDP)
+  std::optional<RtpHeader> rtp;   ///< parsed RTP header when the flow is RTP
+
+  /// Total on-wire IP packet length: IPv4 (20) + UDP (8) + payload.
+  [[nodiscard]] std::uint32_t ip_length() const { return 28 + payload_size; }
+};
+
+}  // namespace cgctx::net

@@ -1,0 +1,175 @@
+#include "net/pcap.hpp"
+
+#include <array>
+#include <bit>
+#include <stdexcept>
+
+#include "net/byte_io.hpp"
+#include "net/framing.hpp"
+
+namespace cgctx::net {
+
+namespace {
+
+constexpr std::uint32_t kMagicMicro = 0xa1b2c3d4;
+constexpr std::uint32_t kMagicNano = 0xa1b23c4d;
+constexpr std::uint32_t kMagicMicroSwapped = 0xd4c3b2a1;
+constexpr std::uint32_t kMagicNanoSwapped = 0x4d3cb2a1;
+constexpr std::uint32_t kLinkTypeEthernet = 1;
+
+std::uint32_t byteswap32(std::uint32_t v) {
+  return v >> 24 | (v >> 8 & 0xff00) | (v << 8 & 0xff0000) | v << 24;
+}
+
+std::uint16_t byteswap16(std::uint16_t v) {
+  return static_cast<std::uint16_t>(v >> 8 | v << 8);
+}
+
+}  // namespace
+
+PcapWriter::PcapWriter(const std::filesystem::path& path, std::uint32_t snaplen)
+    : out_(path, std::ios::binary | std::ios::trunc), snaplen_(snaplen) {
+  if (!out_) throw std::runtime_error("PcapWriter: cannot open " + path.string());
+  ByteWriter w;
+  w.write_u32_le(kMagicNano);
+  w.write_u16_le(2);  // version major
+  w.write_u16_le(4);  // version minor
+  w.write_u32_le(0);  // thiszone
+  w.write_u32_le(0);  // sigfigs
+  w.write_u32_le(snaplen_);
+  w.write_u32_le(kLinkTypeEthernet);
+  const auto& hdr = w.data();
+  out_.write(reinterpret_cast<const char*>(hdr.data()),
+             static_cast<std::streamsize>(hdr.size()));
+  if (!out_) throw std::runtime_error("PcapWriter: header write failed");
+}
+
+PcapWriter::~PcapWriter() {
+  try {
+    close();
+  } catch (...) {
+    // Destructor must not throw; an explicit close() reports errors.
+  }
+}
+
+void PcapWriter::write(const CapturedFrame& frame) {
+  if (!out_.is_open()) throw std::runtime_error("PcapWriter: write after close");
+  const std::uint32_t incl_len =
+      std::min<std::uint32_t>(snaplen_, static_cast<std::uint32_t>(frame.bytes.size()));
+  ByteWriter w;
+  w.write_u32_le(static_cast<std::uint32_t>(frame.timestamp / kNanosPerSecond));
+  w.write_u32_le(static_cast<std::uint32_t>(frame.timestamp % kNanosPerSecond));
+  w.write_u32_le(incl_len);
+  w.write_u32_le(frame.original_length != 0
+                     ? frame.original_length
+                     : static_cast<std::uint32_t>(frame.bytes.size()));
+  const auto& rec = w.data();
+  out_.write(reinterpret_cast<const char*>(rec.data()),
+             static_cast<std::streamsize>(rec.size()));
+  out_.write(reinterpret_cast<const char*>(frame.bytes.data()),
+             static_cast<std::streamsize>(incl_len));
+  if (!out_) throw std::runtime_error("PcapWriter: record write failed");
+  ++frames_written_;
+}
+
+void PcapWriter::close() {
+  if (out_.is_open()) {
+    out_.flush();
+    if (!out_) throw std::runtime_error("PcapWriter: flush failed");
+    out_.close();
+  }
+}
+
+PcapReader::PcapReader(const std::filesystem::path& path)
+    : in_(path, std::ios::binary) {
+  if (!in_) throw std::runtime_error("PcapReader: cannot open " + path.string());
+  const std::uint32_t magic = read_u32();
+  switch (magic) {
+    case kMagicMicro: break;
+    case kMagicNano: nanosecond_ = true; break;
+    case kMagicMicroSwapped: swap_ = true; break;
+    case kMagicNanoSwapped: swap_ = true; nanosecond_ = true; break;
+    default: throw std::runtime_error("PcapReader: not a classic pcap file");
+  }
+  read_u16();  // version major
+  read_u16();  // version minor
+  read_u32();  // thiszone
+  read_u32();  // sigfigs
+  snaplen_ = read_u32();
+  const std::uint32_t linktype = read_u32();
+  if (!in_) throw std::runtime_error("PcapReader: truncated file header");
+  if (linktype != kLinkTypeEthernet)
+    throw std::runtime_error("PcapReader: unsupported link type");
+}
+
+std::uint32_t PcapReader::read_u32() {
+  std::array<char, 4> raw{};
+  in_.read(raw.data(), 4);
+  std::uint32_t v = 0;
+  // File values are stored in the writer's native order; we assemble
+  // little-endian and swap if the magic said otherwise.
+  for (int i = 3; i >= 0; --i)
+    v = v << 8 | static_cast<std::uint8_t>(raw[static_cast<std::size_t>(i)]);
+  return swap_ ? byteswap32(v) : v;
+}
+
+std::uint16_t PcapReader::read_u16() {
+  std::array<char, 2> raw{};
+  in_.read(raw.data(), 2);
+  auto v = static_cast<std::uint16_t>(static_cast<std::uint8_t>(raw[0]) |
+                                      static_cast<std::uint8_t>(raw[1]) << 8);
+  return swap_ ? byteswap16(v) : v;
+}
+
+std::optional<CapturedFrame> PcapReader::next() {
+  const std::uint32_t ts_sec = read_u32();
+  if (in_.eof()) return std::nullopt;
+  const std::uint32_t ts_frac = read_u32();
+  const std::uint32_t incl_len = read_u32();
+  const std::uint32_t orig_len = read_u32();
+  if (!in_) throw std::runtime_error("PcapReader: truncated record header");
+  if (incl_len > snaplen_ && incl_len > (1u << 20))
+    throw std::runtime_error("PcapReader: implausible record length");
+  CapturedFrame frame;
+  frame.timestamp = static_cast<Timestamp>(ts_sec) * kNanosPerSecond +
+                    (nanosecond_ ? ts_frac : static_cast<Timestamp>(ts_frac) * 1000);
+  frame.original_length = orig_len;
+  frame.bytes.resize(incl_len);
+  in_.read(reinterpret_cast<char*>(frame.bytes.data()), incl_len);
+  if (!in_) throw std::runtime_error("PcapReader: truncated record body");
+  return frame;
+}
+
+std::vector<CapturedFrame> PcapReader::read_all() {
+  std::vector<CapturedFrame> frames;
+  while (auto f = next()) frames.push_back(std::move(*f));
+  return frames;
+}
+
+std::size_t write_pcap(const std::filesystem::path& path,
+                       std::span<const PacketRecord> packets) {
+  PcapWriter writer(path);
+  for (const PacketRecord& pkt : packets) {
+    const auto payload = build_payload(pkt);
+    CapturedFrame frame;
+    frame.timestamp = pkt.timestamp;
+    frame.bytes = encode_udp_frame(pkt.tuple, payload);
+    writer.write(frame);
+  }
+  writer.close();
+  return writer.frames_written();
+}
+
+std::vector<PacketRecord> read_pcap(const std::filesystem::path& path,
+                                    Ipv4Addr client_ip) {
+  PcapReader reader(path);
+  std::vector<PacketRecord> packets;
+  while (auto frame = reader.next()) {
+    auto decoded = decode_udp_frame(frame->bytes);
+    if (!decoded) continue;
+    packets.push_back(record_from_frame(*decoded, frame->timestamp, client_ip));
+  }
+  return packets;
+}
+
+}  // namespace cgctx::net

@@ -1,0 +1,299 @@
+#include "net/pcapng.hpp"
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+#include "net/byte_io.hpp"
+#include "net/framing.hpp"
+#include "net/time.hpp"
+
+namespace cgctx::net {
+
+namespace {
+
+constexpr std::uint32_t kShbType = 0x0A0D0D0A;
+constexpr std::uint32_t kIdbType = 0x00000001;
+constexpr std::uint32_t kEpbType = 0x00000006;
+constexpr std::uint32_t kByteOrderMagic = 0x1A2B3C4D;
+constexpr std::uint32_t kByteOrderMagicSwapped = 0x4D3C2B1A;
+constexpr std::uint16_t kLinkEthernet = 1;
+constexpr std::uint16_t kOptTsResol = 9;
+constexpr std::uint16_t kOptEnd = 0;
+
+std::uint32_t byteswap32(std::uint32_t v) {
+  return v >> 24 | (v >> 8 & 0xff00) | (v << 8 & 0xff0000) | v << 24;
+}
+
+std::uint16_t byteswap16(std::uint16_t v) {
+  return static_cast<std::uint16_t>(v >> 8 | v << 8);
+}
+
+std::size_t padded4(std::size_t n) { return (n + 3) & ~std::size_t{3}; }
+
+void write_block(std::ofstream& out, std::uint32_t type,
+                 const std::vector<std::uint8_t>& body) {
+  ByteWriter w;
+  const auto total = static_cast<std::uint32_t>(12 + padded4(body.size()));
+  w.write_u32_le(type);
+  w.write_u32_le(total);
+  w.write_bytes(body);
+  w.write_fill(padded4(body.size()) - body.size(), 0);
+  w.write_u32_le(total);
+  const auto& bytes = w.data();
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+}  // namespace
+
+PcapngWriter::PcapngWriter(const std::filesystem::path& path,
+                           std::uint32_t snaplen)
+    : out_(path, std::ios::binary | std::ios::trunc), snaplen_(snaplen) {
+  if (!out_)
+    throw std::runtime_error("PcapngWriter: cannot open " + path.string());
+
+  // Section Header Block.
+  {
+    ByteWriter body;
+    body.write_u32_le(kByteOrderMagic);
+    body.write_u16_le(1);  // major
+    body.write_u16_le(0);  // minor
+    body.write_u32_le(0xFFFFFFFF);  // section length unknown (-1)
+    body.write_u32_le(0xFFFFFFFF);
+    write_block(out_, kShbType, body.data());
+  }
+  // Interface Description Block: Ethernet, nanosecond timestamps.
+  {
+    ByteWriter body;
+    body.write_u16_le(kLinkEthernet);
+    body.write_u16_le(0);  // reserved
+    body.write_u32_le(snaplen_);
+    // if_tsresol option: one byte, value 9 => 10^-9 s ticks.
+    body.write_u16_le(kOptTsResol);
+    body.write_u16_le(1);
+    body.write_u8(9);
+    body.write_fill(3, 0);  // pad option value to 4 bytes
+    body.write_u16_le(kOptEnd);
+    body.write_u16_le(0);
+    write_block(out_, kIdbType, body.data());
+  }
+  if (!out_) throw std::runtime_error("PcapngWriter: header write failed");
+}
+
+PcapngWriter::~PcapngWriter() {
+  try {
+    close();
+  } catch (...) {
+    // Destructor must not throw; explicit close() reports errors.
+  }
+}
+
+void PcapngWriter::write(const CapturedFrame& frame) {
+  if (!out_.is_open())
+    throw std::runtime_error("PcapngWriter: write after close");
+  const std::uint32_t captured = std::min<std::uint32_t>(
+      snaplen_, static_cast<std::uint32_t>(frame.bytes.size()));
+  const auto ticks = static_cast<std::uint64_t>(frame.timestamp);
+  ByteWriter body;
+  body.write_u32_le(0);  // interface id
+  body.write_u32_le(static_cast<std::uint32_t>(ticks >> 32));
+  body.write_u32_le(static_cast<std::uint32_t>(ticks & 0xffffffff));
+  body.write_u32_le(captured);
+  body.write_u32_le(frame.original_length != 0
+                        ? frame.original_length
+                        : static_cast<std::uint32_t>(frame.bytes.size()));
+  body.write_bytes(std::span<const std::uint8_t>(frame.bytes.data(), captured));
+  body.write_fill(padded4(captured) - captured, 0);
+  write_block(out_, kEpbType, body.data());
+  if (!out_) throw std::runtime_error("PcapngWriter: record write failed");
+  ++frames_written_;
+}
+
+void PcapngWriter::close() {
+  if (out_.is_open()) {
+    out_.flush();
+    if (!out_) throw std::runtime_error("PcapngWriter: flush failed");
+    out_.close();
+  }
+}
+
+PcapngReader::PcapngReader(const std::filesystem::path& path)
+    : in_(path, std::ios::binary) {
+  if (!in_)
+    throw std::runtime_error("PcapngReader: cannot open " + path.string());
+  // The SHB begins with its type; endianness is discovered from the
+  // byte-order magic inside.
+  const std::uint32_t type = read_u32();
+  if (type != kShbType)
+    throw std::runtime_error("PcapngReader: not a pcapng file");
+  const std::uint32_t total_length_raw = read_u32();
+  const std::uint32_t magic_raw = read_u32();
+  if (magic_raw == kByteOrderMagicSwapped) {
+    swap_ = true;
+  } else if (magic_raw != kByteOrderMagic) {
+    throw std::runtime_error("PcapngReader: bad byte-order magic");
+  }
+  const std::uint32_t total_length =
+      swap_ ? byteswap32(total_length_raw) : total_length_raw;
+  if (total_length < 28)
+    throw std::runtime_error("PcapngReader: SHB too short");
+  // Skip the rest of the SHB (version, section length, options, trailer).
+  in_.seekg(static_cast<std::streamoff>(total_length - 12),
+            std::ios::cur);
+  if (!in_) throw std::runtime_error("PcapngReader: truncated SHB");
+}
+
+std::uint32_t PcapngReader::read_u32() {
+  std::array<char, 4> raw{};
+  in_.read(raw.data(), 4);
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i)
+    v = v << 8 | static_cast<std::uint8_t>(raw[static_cast<std::size_t>(i)]);
+  return swap_ ? byteswap32(v) : v;
+}
+
+std::uint16_t PcapngReader::read_u16() {
+  std::array<char, 2> raw{};
+  in_.read(raw.data(), 2);
+  auto v = static_cast<std::uint16_t>(static_cast<std::uint8_t>(raw[0]) |
+                                      static_cast<std::uint8_t>(raw[1]) << 8);
+  return swap_ ? byteswap16(v) : v;
+}
+
+void PcapngReader::parse_idb_options(std::span<const std::uint8_t> options) {
+  std::size_t offset = 0;
+  while (offset + 4 <= options.size()) {
+    auto code = static_cast<std::uint16_t>(options[offset] |
+                                           options[offset + 1] << 8);
+    auto length = static_cast<std::uint16_t>(options[offset + 2] |
+                                             options[offset + 3] << 8);
+    if (swap_) {
+      code = byteswap16(code);
+      length = byteswap16(length);
+    }
+    offset += 4;
+    if (code == kOptEnd) break;
+    if (code == kOptTsResol && length >= 1 && offset < options.size()) {
+      const std::uint8_t resol = options[offset];
+      if ((resol & 0x80) != 0) {
+        ticks_per_second_ = 1ull << (resol & 0x7f);
+      } else {
+        ticks_per_second_ = 1;
+        for (int i = 0; i < (resol & 0x7f); ++i) ticks_per_second_ *= 10;
+      }
+    }
+    offset += padded4(length);
+  }
+}
+
+std::optional<CapturedFrame> PcapngReader::next() {
+  while (true) {
+    const std::uint32_t type = read_u32();
+    if (in_.eof()) return std::nullopt;
+    const std::uint32_t total_length = read_u32();
+    if (!in_) return std::nullopt;
+    if (total_length < 12 || total_length % 4 != 0 ||
+        total_length > (1u << 26))
+      throw std::runtime_error("PcapngReader: implausible block length");
+    const std::size_t body_length = total_length - 12;
+
+    std::vector<std::uint8_t> body(body_length);
+    in_.read(reinterpret_cast<char*>(body.data()),
+             static_cast<std::streamsize>(body_length));
+    const std::uint32_t trailer = read_u32();
+    if (!in_) throw std::runtime_error("PcapngReader: truncated block");
+    if (trailer != total_length)
+      throw std::runtime_error("PcapngReader: block trailer mismatch");
+
+    if (type == kIdbType && !idb_seen_) {
+      idb_seen_ = true;
+      if (body.size() < 8)
+        throw std::runtime_error("PcapngReader: IDB too short");
+      auto linktype = static_cast<std::uint16_t>(body[0] | body[1] << 8);
+      if (swap_) linktype = byteswap16(linktype);
+      if (linktype != kLinkEthernet)
+        throw std::runtime_error("PcapngReader: unsupported link type");
+      parse_idb_options(std::span<const std::uint8_t>(body).subspan(8));
+      continue;
+    }
+    if (type != kEpbType) continue;  // skip unknown/auxiliary blocks
+
+    if (body.size() < 20)
+      throw std::runtime_error("PcapngReader: EPB too short");
+    ByteReader r(body);
+    r.skip(4);  // interface id
+    std::uint32_t ts_high = 0;
+    std::uint32_t ts_low = 0;
+    if (swap_) {
+      ts_high = byteswap32([&] {
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(body[4 + i]) << (8 * i);
+        return v;
+      }());
+      ts_low = byteswap32([&] {
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(body[8 + i]) << (8 * i);
+        return v;
+      }());
+      r.skip(8);
+    } else {
+      ts_high = r.read_u32_le();
+      ts_low = r.read_u32_le();
+    }
+    std::uint32_t captured = r.read_u32_le();
+    std::uint32_t original = r.read_u32_le();
+    if (swap_) {
+      captured = byteswap32(captured);
+      original = byteswap32(original);
+    }
+    if (!r.ok() || r.remaining() < captured)
+      throw std::runtime_error("PcapngReader: EPB payload truncated");
+
+    CapturedFrame frame;
+    const std::uint64_t ticks =
+        static_cast<std::uint64_t>(ts_high) << 32 | ts_low;
+    // Convert interface ticks to nanoseconds.
+    frame.timestamp = ticks_per_second_ == 1'000'000'000
+                          ? static_cast<Timestamp>(ticks)
+                          : static_cast<Timestamp>(
+                                static_cast<double>(ticks) * 1e9 /
+                                static_cast<double>(ticks_per_second_));
+    frame.original_length = original;
+    frame.bytes = r.read_bytes(captured);
+    return frame;
+  }
+}
+
+std::vector<CapturedFrame> PcapngReader::read_all() {
+  std::vector<CapturedFrame> frames;
+  while (auto f = next()) frames.push_back(std::move(*f));
+  return frames;
+}
+
+std::size_t write_pcapng(const std::filesystem::path& path,
+                         std::span<const PacketRecord> packets) {
+  PcapngWriter writer(path);
+  for (const PacketRecord& pkt : packets) {
+    CapturedFrame frame;
+    frame.timestamp = pkt.timestamp;
+    frame.bytes = encode_udp_frame(pkt.tuple, build_payload(pkt));
+    writer.write(frame);
+  }
+  writer.close();
+  return writer.frames_written();
+}
+
+std::vector<PacketRecord> read_pcapng(const std::filesystem::path& path,
+                                      Ipv4Addr client_ip) {
+  PcapngReader reader(path);
+  std::vector<PacketRecord> packets;
+  while (auto frame = reader.next()) {
+    auto decoded = decode_udp_frame(frame->bytes);
+    if (!decoded) continue;
+    packets.push_back(record_from_frame(*decoded, frame->timestamp, client_ip));
+  }
+  return packets;
+}
+
+}  // namespace cgctx::net

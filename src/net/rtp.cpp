@@ -1,0 +1,37 @@
+#include "net/rtp.hpp"
+
+#include "net/byte_io.hpp"
+
+namespace cgctx::net {
+
+std::vector<std::uint8_t> RtpHeader::serialize() const {
+  ByteWriter w;
+  w.write_u8(0x80);  // V=2, P=0, X=0, CC=0
+  w.write_u8(static_cast<std::uint8_t>((marker ? 0x80 : 0x00) |
+                                       (payload_type & 0x7f)));
+  w.write_u16_be(sequence);
+  w.write_u32_be(rtp_timestamp);
+  w.write_u32_be(ssrc);
+  return w.take();
+}
+
+std::optional<RtpHeader> parse_rtp(std::span<const std::uint8_t> payload) {
+  if (payload.size() < RtpHeader::kWireSize) return std::nullopt;
+  ByteReader r(payload);
+  const std::uint8_t b0 = r.read_u8();
+  if ((b0 >> 6) != 2) return std::nullopt;       // version must be 2
+  if ((b0 & 0x20) != 0) return std::nullopt;     // padding unsupported
+  if ((b0 & 0x10) != 0) return std::nullopt;     // extension unsupported
+  if ((b0 & 0x0f) != 0) return std::nullopt;     // CSRC list unsupported
+  const std::uint8_t b1 = r.read_u8();
+  RtpHeader h;
+  h.marker = (b1 & 0x80) != 0;
+  h.payload_type = b1 & 0x7f;
+  h.sequence = r.read_u16_be();
+  h.rtp_timestamp = r.read_u32_be();
+  h.ssrc = r.read_u32_be();
+  if (!r.ok()) return std::nullopt;
+  return h;
+}
+
+}  // namespace cgctx::net

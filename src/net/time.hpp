@@ -1,0 +1,43 @@
+// Time representation used throughout cgctx.
+//
+// All packet timestamps are nanoseconds since an arbitrary epoch (for
+// synthetic traffic, the start of the simulation; for PCAP files, the Unix
+// epoch). A plain signed 64-bit count keeps arithmetic trivial and gives
+// ~292 years of range, far beyond any capture.
+#pragma once
+
+#include <cstdint>
+
+namespace cgctx::net {
+
+/// Nanoseconds since the trace epoch.
+using Timestamp = std::int64_t;
+
+/// A signed span between two timestamps, also in nanoseconds.
+using Duration = std::int64_t;
+
+inline constexpr Duration kNanosPerMicro = 1'000;
+inline constexpr Duration kNanosPerMilli = 1'000'000;
+inline constexpr Duration kNanosPerSecond = 1'000'000'000;
+
+/// Converts seconds (possibly fractional) to a Duration.
+constexpr Duration duration_from_seconds(double seconds) {
+  return static_cast<Duration>(seconds * static_cast<double>(kNanosPerSecond));
+}
+
+/// Converts a Duration to fractional seconds.
+constexpr double duration_to_seconds(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kNanosPerSecond);
+}
+
+/// Converts milliseconds to a Duration.
+constexpr Duration duration_from_millis(double millis) {
+  return static_cast<Duration>(millis * static_cast<double>(kNanosPerMilli));
+}
+
+/// Converts a Duration to fractional milliseconds.
+constexpr double duration_to_millis(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kNanosPerMilli);
+}
+
+}  // namespace cgctx::net

@@ -1,0 +1,95 @@
+// The cloud game catalog (paper Table 1).
+//
+// Thirteen popular GeForce NOW titles spanning five genres, each with the
+// gameplay activity pattern the paper observed (spectate-and-play vs
+// continuous-play), its share of total playtime, and the traffic-demand
+// parameters our synthetic generator needs (session duration statistics,
+// peak-bitrate clusters, stage mix). The numeric demand values are chosen
+// to reproduce the *shapes* the paper reports in §5 (Figs. 11-13), since
+// absolute field numbers are confidential.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+
+namespace cgctx::sim {
+
+enum class GameTitle : std::uint8_t {
+  kFortnite,
+  kGenshinImpact,
+  kBaldursGate3,
+  kR6Siege,
+  kHonkaiStarRail,
+  kDestiny2,
+  kCallOfDuty,
+  kCyberpunk2077,
+  kOverwatch2,
+  kRocketLeague,
+  kCsgo,
+  kDota2,
+  kHearthstone,
+  // A long-tail title outside the popular-13 catalog; the classifier is
+  // expected to answer "unknown" and fall back to pattern inference.
+  kOtherContinuous,
+  kOtherSpectate,
+};
+
+inline constexpr std::size_t kNumPopularTitles = 13;
+inline constexpr std::size_t kNumTitles = 15;
+
+enum class Genre : std::uint8_t {
+  kShooter,
+  kRolePlaying,
+  kSports,
+  kMoba,
+  kCard,
+  kOther,
+};
+
+enum class ActivityPattern : std::uint8_t {
+  kSpectateAndPlay,  ///< repeating idle/active/passive slots (shooter, MOBA, card, sports)
+  kContinuousPlay,   ///< long uninterrupted active periods (role-playing)
+};
+
+const char* to_string(GameTitle title);
+const char* to_string(Genre genre);
+const char* to_string(ActivityPattern pattern);
+
+/// Static per-title description.
+struct GameInfo {
+  GameTitle title;
+  const char* name;
+  Genre genre;
+  ActivityPattern pattern;
+  /// Fraction of total fleet playtime (Table 1 popularity column).
+  double popularity;
+  /// Mean session duration in minutes (drives Fig. 11 shape).
+  double mean_session_minutes;
+  /// Peak downstream demand in Mbps at the highest streaming setting
+  /// (drives Fig. 12 shape; e.g. Hearthstone 20, Fortnite/BG3 ~68).
+  double peak_demand_mbps;
+  /// Launch-stage (opening animation) duration in seconds.
+  double launch_seconds;
+  /// Stage dwell means in seconds while in gameplay: {active, passive, idle}.
+  std::array<double, 3> stage_dwell_seconds;
+  /// Long-run fraction of gameplay time per stage: {active, passive, idle}.
+  std::array<double, 3> stage_fraction;
+};
+
+/// All fifteen simulated titles (13 popular + 2 long-tail), indexed by
+/// GameTitle value.
+std::span<const GameInfo, kNumTitles> catalog();
+
+/// Info for one title.
+const GameInfo& info(GameTitle title);
+
+/// The 13 popular titles only (what the classifier is trained on).
+std::span<const GameInfo> popular_titles();
+
+/// Parses a title by exact display name; nullopt when unknown.
+std::optional<GameTitle> title_from_name(const std::string& name);
+
+}  // namespace cgctx::sim

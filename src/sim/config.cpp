@@ -1,0 +1,128 @@
+#include "sim/config.hpp"
+
+#include <array>
+#include <sstream>
+#include <stdexcept>
+
+namespace cgctx::sim {
+
+const char* to_string(DeviceClass device) {
+  switch (device) {
+    case DeviceClass::kPc: return "PC";
+    case DeviceClass::kMobile: return "Mobile";
+    case DeviceClass::kTv: return "TV";
+    case DeviceClass::kConsole: return "Console";
+  }
+  return "?";
+}
+
+const char* to_string(Os os) {
+  switch (os) {
+    case Os::kWindows: return "Windows";
+    case Os::kMacOs: return "macOS";
+    case Os::kAndroid: return "Android";
+    case Os::kIos: return "iOS";
+    case Os::kAndroidTv: return "AndroidTV";
+    case Os::kXboxOs: return "Xbox";
+  }
+  return "?";
+}
+
+const char* to_string(Software software) {
+  return software == Software::kNativeApp ? "Native app" : "Browser";
+}
+
+const char* to_string(Resolution resolution) {
+  switch (resolution) {
+    case Resolution::kSd: return "SD";
+    case Resolution::kHd: return "HD";
+    case Resolution::kFhd: return "FHD";
+    case Resolution::kQhd: return "QHD";
+    case Resolution::kUhd: return "UHD";
+  }
+  return "?";
+}
+
+double resolution_bitrate_factor(Resolution resolution) {
+  switch (resolution) {
+    case Resolution::kSd: return 0.25;
+    case Resolution::kHd: return 0.55;
+    case Resolution::kFhd: return 1.0;
+    case Resolution::kQhd: return 1.6;
+    case Resolution::kUhd: return 2.4;
+  }
+  return 1.0;
+}
+
+std::string ClientConfig::describe() const {
+  std::ostringstream os_;
+  os_ << to_string(device) << '/' << to_string(os) << '/' << to_string(software)
+      << ' ' << to_string(resolution) << '@' << fps << "fps";
+  return os_.str();
+}
+
+namespace {
+
+// Paper Table 2, row for row (531 sessions total).
+constexpr std::array<LabConfigRow, 8> kLabRows{{
+    {DeviceClass::kPc, Os::kWindows, Software::kNativeApp, Resolution::kSd,
+     Resolution::kUhd, 89},
+    {DeviceClass::kPc, Os::kWindows, Software::kBrowser, Resolution::kSd,
+     Resolution::kQhd, 60},
+    {DeviceClass::kPc, Os::kMacOs, Software::kNativeApp, Resolution::kSd,
+     Resolution::kUhd, 76},
+    {DeviceClass::kPc, Os::kMacOs, Software::kBrowser, Resolution::kSd,
+     Resolution::kQhd, 61},
+    {DeviceClass::kMobile, Os::kAndroid, Software::kNativeApp, Resolution::kFhd,
+     Resolution::kQhd, 73},
+    {DeviceClass::kMobile, Os::kIos, Software::kBrowser, Resolution::kSd,
+     Resolution::kFhd, 70},
+    {DeviceClass::kTv, Os::kAndroidTv, Software::kNativeApp, Resolution::kSd,
+     Resolution::kFhd, 48},
+    {DeviceClass::kConsole, Os::kXboxOs, Software::kBrowser, Resolution::kSd,
+     Resolution::kFhd, 54},
+}};
+
+constexpr std::array<int, 3> kFpsOptions{30, 60, 120};
+
+}  // namespace
+
+std::span<const LabConfigRow> lab_config_rows() { return kLabRows; }
+
+ClientConfig sample_config(const LabConfigRow& row, ml::Rng& rng) {
+  ClientConfig cfg;
+  cfg.device = row.device;
+  cfg.os = row.os;
+  cfg.software = row.software;
+  const auto lo = static_cast<int>(row.min_resolution);
+  const auto hi = static_cast<int>(row.max_resolution);
+  cfg.resolution = static_cast<Resolution>(
+      lo + static_cast<int>(rng.next_below(static_cast<std::uint64_t>(hi - lo + 1))));
+  cfg.fps = kFpsOptions[rng.next_below(kFpsOptions.size())];
+  return cfg;
+}
+
+ClientConfig sample_config(ml::Rng& rng) {
+  int total = 0;
+  for (const LabConfigRow& row : kLabRows) total += row.sessions;
+  auto pick = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(total)));
+  for (const LabConfigRow& row : kLabRows) {
+    pick -= row.sessions;
+    if (pick < 0) return sample_config(row, rng);
+  }
+  return sample_config(kLabRows.back(), rng);
+}
+
+NetworkConditions NetworkConditions::lab() {
+  return NetworkConditions{8.0, 0.6, 0.0005, 1000.0};
+}
+
+NetworkConditions NetworkConditions::good() {
+  return NetworkConditions{18.0, 2.0, 0.002, 200.0};
+}
+
+NetworkConditions NetworkConditions::congested() {
+  return NetworkConditions{85.0, 14.0, 0.03, 6.0};
+}
+
+}  // namespace cgctx::sim

@@ -1,0 +1,83 @@
+// Client device / streaming-setting configurations (paper Table 2) and
+// network condition models.
+//
+// The lab dataset spans PCs (Windows/macOS, native app and browser),
+// Android and iOS mobiles, an Android TV and an Xbox console, each with a
+// range of graphic resolutions and 30-120 fps streaming. Resolution and
+// frame rate set the session's peak bitrate; device class caps the
+// resolutions available, reproducing the two-to-four per-title bandwidth
+// clusters of Fig. 12(a).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ml/rng.hpp"
+#include "net/time.hpp"
+
+namespace cgctx::sim {
+
+enum class DeviceClass : std::uint8_t { kPc, kMobile, kTv, kConsole };
+enum class Os : std::uint8_t { kWindows, kMacOs, kAndroid, kIos, kAndroidTv, kXboxOs };
+enum class Software : std::uint8_t { kNativeApp, kBrowser };
+enum class Resolution : std::uint8_t { kSd, kHd, kFhd, kQhd, kUhd };
+
+const char* to_string(DeviceClass device);
+const char* to_string(Os os);
+const char* to_string(Software software);
+const char* to_string(Resolution resolution);
+
+/// Relative bitrate multiplier of a resolution (FHD = 1.0).
+double resolution_bitrate_factor(Resolution resolution);
+
+/// One streaming client configuration.
+struct ClientConfig {
+  DeviceClass device = DeviceClass::kPc;
+  Os os = Os::kWindows;
+  Software software = Software::kNativeApp;
+  Resolution resolution = Resolution::kFhd;
+  int fps = 60;  ///< streaming frame rate setting (30-120)
+
+  [[nodiscard]] std::string describe() const;
+};
+
+/// One row of the Table 2 lab collection plan.
+struct LabConfigRow {
+  DeviceClass device;
+  Os os;
+  Software software;
+  Resolution min_resolution;  ///< lowest resolution used on this setup
+  Resolution max_resolution;  ///< highest resolution used on this setup
+  int sessions;               ///< number of lab sessions collected
+};
+
+/// The eight lab configuration rows of Table 2 (531 sessions total).
+std::span<const LabConfigRow> lab_config_rows();
+
+/// Draws a concrete ClientConfig uniformly from a Table 2 row: resolution
+/// within the row's range, fps in {30, 60, 120}.
+ClientConfig sample_config(const LabConfigRow& row, ml::Rng& rng);
+
+/// Draws a ClientConfig from the whole lab matrix, weighted by per-row
+/// session counts (the fleet's device mix).
+ClientConfig sample_config(ml::Rng& rng);
+
+/// Network path conditions applied to a generated session.
+struct NetworkConditions {
+  double rtt_ms = 8.0;          ///< base round-trip latency
+  double jitter_ms = 1.0;       ///< stddev of per-packet one-way delay noise
+  double loss_rate = 0.0005;    ///< independent packet drop probability
+  double bandwidth_mbps = 1000; ///< access link cap (downstream)
+
+  /// The near-ideal lab access network (~1 Gbps, <10 ms, <0.1% loss).
+  static NetworkConditions lab();
+  /// A healthy fleet subscriber path.
+  static NetworkConditions good();
+  /// A congested path: the Fig. 13 "genuinely bad QoE" tail (high lag,
+  /// loss, and a throughput cap that forces bitrate down).
+  static NetworkConditions congested();
+};
+
+}  // namespace cgctx::sim

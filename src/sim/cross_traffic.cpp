@@ -1,0 +1,121 @@
+#include "sim/cross_traffic.hpp"
+
+#include <algorithm>
+
+namespace cgctx::sim {
+
+namespace {
+
+net::Ipv4Addr random_server(ml::Rng& rng, std::uint8_t first_octet) {
+  return net::Ipv4Addr::from_octets(
+      first_octet, static_cast<std::uint8_t>(rng.next_below(250) + 1),
+      static_cast<std::uint8_t>(rng.next_below(250) + 1),
+      static_cast<std::uint8_t>(rng.next_below(250) + 1));
+}
+
+net::PacketRecord make_packet(net::Timestamp t, net::Direction dir,
+                              const net::FiveTuple& up_tuple,
+                              std::uint32_t payload) {
+  net::PacketRecord pkt;
+  pkt.timestamp = t;
+  pkt.direction = dir;
+  pkt.tuple = dir == net::Direction::kUpstream ? up_tuple : up_tuple.reversed();
+  pkt.payload_size = payload;
+  return pkt;
+}
+
+void sort_by_time(std::vector<net::PacketRecord>& packets) {
+  std::sort(packets.begin(), packets.end(),
+            [](const net::PacketRecord& a, const net::PacketRecord& b) {
+              return a.timestamp < b.timestamp;
+            });
+}
+
+}  // namespace
+
+std::vector<net::PacketRecord> web_browsing_flow(net::Ipv4Addr client_ip,
+                                                 double duration_s,
+                                                 ml::Rng& rng) {
+  const net::FiveTuple up_tuple{
+      client_ip, random_server(rng, 104),
+      static_cast<std::uint16_t>(49152 + rng.next_below(16000)), 443, 6};
+  std::vector<net::PacketRecord> packets;
+  double t = 0.0;
+  while (t < duration_s) {
+    // Request upstream, then a burst of downstream segments.
+    packets.push_back(make_packet(net::duration_from_seconds(t),
+                                  net::Direction::kUpstream, up_tuple,
+                                  static_cast<std::uint32_t>(rng.uniform(200, 900))));
+    const auto burst = static_cast<std::size_t>(rng.uniform(5, 120));
+    for (std::size_t i = 0; i < burst; ++i) {
+      t += rng.uniform(0.0002, 0.002);
+      packets.push_back(make_packet(net::duration_from_seconds(t),
+                                    net::Direction::kDownstream, up_tuple, 1460));
+    }
+    t += rng.uniform(0.5, 6.0);  // think time
+  }
+  sort_by_time(packets);
+  return packets;
+}
+
+std::vector<net::PacketRecord> video_streaming_flow(net::Ipv4Addr client_ip,
+                                                    double duration_s,
+                                                    ml::Rng& rng) {
+  const net::FiveTuple up_tuple{
+      client_ip, random_server(rng, 23),
+      static_cast<std::uint16_t>(49152 + rng.next_below(16000)), 443, 6};
+  std::vector<net::PacketRecord> packets;
+  double t = 0.0;
+  while (t < duration_s) {
+    // One ~4 s media chunk downloaded at line rate every ~4 s.
+    const double chunk_mbits = rng.uniform(8.0, 30.0);
+    const auto segments =
+        static_cast<std::size_t>(chunk_mbits * 1e6 / 8.0 / 1460.0);
+    double chunk_t = t;
+    for (std::size_t i = 0; i < segments; ++i) {
+      chunk_t += rng.uniform(0.00002, 0.0002);
+      packets.push_back(make_packet(net::duration_from_seconds(chunk_t),
+                                    net::Direction::kDownstream, up_tuple, 1460));
+      // Sparse TCP acks upstream.
+      if (i % 10 == 0)
+        packets.push_back(make_packet(net::duration_from_seconds(chunk_t),
+                                      net::Direction::kUpstream, up_tuple, 52));
+    }
+    t += 4.0;
+  }
+  sort_by_time(packets);
+  return packets;
+}
+
+std::vector<net::PacketRecord> voip_flow(net::Ipv4Addr client_ip,
+                                         double duration_s, ml::Rng& rng) {
+  const net::FiveTuple up_tuple{
+      client_ip, random_server(rng, 52),
+      static_cast<std::uint16_t>(49152 + rng.next_below(16000)),
+      static_cast<std::uint16_t>(10000 + rng.next_below(10000)), 17};
+  const auto down_ssrc = static_cast<std::uint32_t>(rng.next_u64());
+  const auto up_ssrc = static_cast<std::uint32_t>(rng.next_u64());
+  std::vector<net::PacketRecord> packets;
+  std::uint16_t up_seq = 0;
+  std::uint16_t down_seq = 0;
+  // 20 ms voice frames both ways.
+  for (double t = 0.0; t < duration_s; t += 0.02) {
+    for (const bool upstream : {true, false}) {
+      net::PacketRecord pkt = make_packet(
+          net::duration_from_seconds(t + rng.uniform(0.0, 0.004)),
+          upstream ? net::Direction::kUpstream : net::Direction::kDownstream,
+          up_tuple, static_cast<std::uint32_t>(rng.uniform(120, 190)));
+      net::RtpHeader rtp;
+      rtp.payload_type = 111;  // opus
+      rtp.sequence = upstream ? up_seq++ : down_seq++;
+      rtp.rtp_timestamp = static_cast<std::uint32_t>(t * 48000.0);
+      rtp.ssrc = upstream ? up_ssrc : down_ssrc;
+      pkt.rtp = rtp;
+      packets.push_back(pkt);
+    }
+  }
+  sort_by_time(packets);
+  return packets;
+}
+
+}  // namespace cgctx::sim

@@ -1,0 +1,36 @@
+// Non-gaming cross traffic for exercising the cloud-gaming flow detector.
+//
+// An operational vantage point sees gaming flows interleaved with
+// everything else a household produces. The detector must keep cloud-game
+// streaming flows and reject these look-alikes — in particular VoIP,
+// which is also consistent RTP-over-UDP but at a fraction of the
+// bandwidth, and video streaming, which matches the bandwidth but is TCP
+// and has no upstream input stream.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/rng.hpp"
+#include "net/packet.hpp"
+
+namespace cgctx::sim {
+
+/// Bursty HTTPS web browsing: TCP, short downstream bursts of full-size
+/// segments separated by think time.
+std::vector<net::PacketRecord> web_browsing_flow(net::Ipv4Addr client_ip,
+                                                 double duration_s,
+                                                 ml::Rng& rng);
+
+/// Adaptive video streaming: TCP, periodic multi-second chunk downloads
+/// at several Mbps, negligible upstream.
+std::vector<net::PacketRecord> video_streaming_flow(net::Ipv4Addr client_ip,
+                                                    double duration_s,
+                                                    ml::Rng& rng);
+
+/// Bidirectional VoIP call: RTP over UDP, 50 packets/s of ~160-byte
+/// payloads each way, consistent SSRC — the closest negative case.
+std::vector<net::PacketRecord> voip_flow(net::Ipv4Addr client_ip,
+                                         double duration_s, ml::Rng& rng);
+
+}  // namespace cgctx::sim

@@ -1,0 +1,55 @@
+#include "sim/fleet.hpp"
+
+#include <cmath>
+
+namespace cgctx::sim {
+
+FleetSampler::FleetSampler(const FleetOptions& options)
+    : options_(options), rng_(options.seed) {
+  double acc = 0.0;
+  cumulative_popularity_.reserve(kNumTitles);
+  for (const GameInfo& game : catalog()) {
+    acc += game.popularity;
+    cumulative_popularity_.push_back(acc);
+  }
+  // Normalize in case the catalog popularity does not sum to exactly 1.
+  for (double& c : cumulative_popularity_) c /= acc;
+}
+
+SessionSpec FleetSampler::sample() {
+  SessionSpec spec;
+
+  // Popularity-weighted title, long tail included.
+  const double u = rng_.next_double();
+  std::size_t index = 0;
+  while (index + 1 < cumulative_popularity_.size() &&
+         u > cumulative_popularity_[index])
+    ++index;
+  spec.title = static_cast<GameTitle>(index);
+  const GameInfo& game = info(spec.title);
+
+  spec.config = sample_config(rng_);
+
+  // Session duration: exponential around the title's mean, floored at two
+  // minutes of gameplay so even the shortest sessions cover a launch plus
+  // some play.
+  const double mean_s = game.mean_session_minutes * 60.0 * options_.duration_scale;
+  const double dur = -mean_s * std::log(1.0 - rng_.next_double());
+  spec.gameplay_seconds = std::max(120.0 * options_.duration_scale, dur);
+
+  // Network path mix.
+  const double n = rng_.next_double();
+  if (n < options_.fraction_congested) {
+    spec.network = NetworkConditions::congested();
+  } else if (n < options_.fraction_congested + options_.fraction_mid) {
+    // Mildly degraded: medium latency, some loss, constrained bandwidth.
+    spec.network = NetworkConditions{45.0, 6.0, 0.01, 18.0};
+  } else {
+    spec.network = NetworkConditions::good();
+  }
+
+  spec.seed = rng_.next_u64();
+  return spec;
+}
+
+}  // namespace cgctx::sim

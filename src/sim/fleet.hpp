@@ -1,0 +1,44 @@
+// ISP-scale fleet simulation (paper §5).
+//
+// Samples streaming sessions the way the partner ISP's deployment sees
+// them: titles weighted by Table 1 popularity (including a ~31% long tail
+// outside the popular 13), the lab device mix, per-title session duration
+// distributions, and a mix of healthy and degraded subscriber network
+// paths. Rendered at slot fidelity so three months of sessions are
+// tractable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/session.hpp"
+
+namespace cgctx::sim {
+
+struct FleetOptions {
+  std::uint64_t seed = 99;
+  /// Scale on per-title mean session durations (1.0 = paper-scale hours;
+  /// benches use ~0.1 to keep runtimes sane while preserving ratios).
+  double duration_scale = 1.0;
+  /// Fractions of subscribers on each network profile.
+  double fraction_good = 0.82;
+  double fraction_mid = 0.13;   ///< mildly degraded
+  double fraction_congested = 0.05;
+};
+
+/// Draws one fleet session spec (title, config, duration, network path).
+class FleetSampler {
+ public:
+  explicit FleetSampler(const FleetOptions& options);
+
+  [[nodiscard]] SessionSpec sample();
+
+  [[nodiscard]] const FleetOptions& options() const { return options_; }
+
+ private:
+  FleetOptions options_;
+  ml::Rng rng_;
+  std::vector<double> cumulative_popularity_;
+};
+
+}  // namespace cgctx::sim

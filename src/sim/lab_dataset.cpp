@@ -1,0 +1,51 @@
+#include "sim/lab_dataset.hpp"
+
+#include <cmath>
+
+namespace cgctx::sim {
+
+std::vector<SessionSpec> lab_session_plan(const LabPlanOptions& options) {
+  ml::Rng rng(options.seed);
+  std::vector<SessionSpec> plan;
+  std::size_t title_cursor = 0;
+  for (const LabConfigRow& row : lab_config_rows()) {
+    const auto count = static_cast<std::size_t>(
+        std::ceil(static_cast<double>(row.sessions) * options.scale));
+    for (std::size_t i = 0; i < count; ++i) {
+      SessionSpec spec;
+      // Cycle through the popular titles so each class is covered under
+      // each configuration row (the lab team played every game on every
+      // setup).
+      spec.title = static_cast<GameTitle>(title_cursor % kNumPopularTitles);
+      ++title_cursor;
+      spec.config = sample_config(row, rng);
+      spec.network = NetworkConditions::lab();
+      spec.gameplay_seconds = options.gameplay_seconds * rng.uniform(0.7, 1.3);
+      spec.seed = rng.next_u64();
+      plan.push_back(spec);
+    }
+  }
+  return plan;
+}
+
+std::vector<SessionSpec> augment(const SessionSpec& base, std::size_t copies,
+                                 std::uint64_t seed) {
+  ml::Rng rng(seed);
+  std::vector<SessionSpec> out;
+  out.reserve(copies);
+  for (std::size_t i = 0; i < copies; ++i) {
+    SessionSpec spec = base;
+    spec.seed = rng.next_u64();
+    // Variation-based synthesis (paper §4.4): beyond redrawing the
+    // rendering noise, vary the packet arrival timing and loss the way
+    // real subscriber paths do, so the trained models survive field
+    // conditions the pristine lab network never shows them.
+    spec.network.rtt_ms = rng.uniform(8.0, 55.0);
+    spec.network.jitter_ms = rng.uniform(0.5, 9.0);
+    spec.network.loss_rate = rng.uniform(0.0, 0.012);
+    out.push_back(spec);
+  }
+  return out;
+}
+
+}  // namespace cgctx::sim

@@ -1,0 +1,66 @@
+// Per-title launch-stage packet-group schedules (paper §3.2, Fig. 3).
+//
+// Each cloud game streams a title-specific opening animation while the
+// game initializes. On the wire this produces three downstream packet
+// groups: "full" packets at the maximum payload (1432 bytes) arriving
+// continuously, "steady" packets clustered in narrow payload bands over
+// specific time slots, and "sparse" packets with near-random payloads.
+// The paper's key empirical finding is that the *schedule* of these
+// groups (band positions, arrival slots, relative rates) is a stable
+// fingerprint of the title, nearly invariant to device and streaming
+// settings. We model that as a deterministic per-title signature, derived
+// once from a title-specific seed, that the session generator then renders
+// with per-session noise.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/catalog.hpp"
+
+namespace cgctx::sim {
+
+/// Maximum RTP payload observed on GeForce NOW streams (paper §4.2.1).
+inline constexpr std::uint32_t kFullPayloadBytes = 1432;
+
+/// A narrow payload band active over one time interval of the launch.
+struct SteadyBand {
+  double start_s = 0.0;
+  double end_s = 0.0;
+  double payload_center = 0.0;  ///< bytes
+  double payload_width = 0.0;   ///< +- uniform spread, bytes (narrow)
+  double pps = 0.0;             ///< packets per second while active
+};
+
+/// An interval emitting packets with near-random payload sizes.
+struct SparseBurst {
+  double start_s = 0.0;
+  double end_s = 0.0;
+  double payload_min = 0.0;
+  double payload_max = 0.0;
+  double pps = 0.0;
+};
+
+/// The full launch-stage fingerprint of one title.
+struct LaunchSignature {
+  GameTitle title = GameTitle::kFortnite;
+  double duration_s = 45.0;
+  /// Full-packet rate per 1-second slot of the launch (the "arrival
+  /// density of full packets" that differs across titles).
+  std::vector<double> full_pps;
+  std::vector<SteadyBand> steady_bands;
+  std::vector<SparseBurst> sparse_bursts;
+};
+
+/// The deterministic signature of a title (cached; same result every call).
+const LaunchSignature& launch_signature(GameTitle title);
+
+/// A per-session signature variant for the long-tail pseudo-titles
+/// (kOtherContinuous / kOtherSpectate). The tail stands for the hundreds
+/// of catalog games outside the popular 13, so each session draws a fresh
+/// launch fingerprint (seeded by `variant`) instead of reusing one cached
+/// signature — this is what keeps tail sessions from being confidently
+/// misattributed to a popular title.
+LaunchSignature tail_signature(GameTitle title, std::uint64_t variant);
+
+}  // namespace cgctx::sim

@@ -1,0 +1,131 @@
+#include "sim/platform_anatomy.hpp"
+
+#include <algorithm>
+
+namespace cgctx::sim {
+
+namespace {
+
+net::PacketRecord make(net::Timestamp t, net::Direction dir,
+                       const net::FiveTuple& up_tuple, std::uint32_t payload) {
+  net::PacketRecord pkt;
+  pkt.timestamp = t;
+  pkt.direction = dir;
+  pkt.tuple = dir == net::Direction::kUpstream ? up_tuple : up_tuple.reversed();
+  pkt.payload_size = payload;
+  return pkt;
+}
+
+/// A short TLS-like request/response exchange over TCP 443.
+PlatformFlow https_exchange(net::Ipv4Addr client_ip, net::Ipv4Addr server_ip,
+                            double start_s, double duration_s,
+                            PlatformPhase phase, ml::Rng& rng) {
+  PlatformFlow flow;
+  flow.phase = phase;
+  const net::FiveTuple up{
+      client_ip, server_ip,
+      static_cast<std::uint16_t>(49152 + rng.next_below(16000)), 443, 6};
+  double t = start_s;
+  // Handshake-ish small packets, then a few request/response rounds.
+  for (int i = 0; i < 3; ++i) {
+    flow.packets.push_back(make(net::duration_from_seconds(t),
+                                net::Direction::kUpstream, up,
+                                static_cast<std::uint32_t>(rng.uniform(80, 400))));
+    t += rng.uniform(0.005, 0.03);
+    flow.packets.push_back(
+        make(net::duration_from_seconds(t), net::Direction::kDownstream, up,
+             static_cast<std::uint32_t>(rng.uniform(120, 1460))));
+    t += rng.uniform(0.005, 0.03);
+  }
+  const double end_s = start_s + duration_s;
+  while (t < end_s) {
+    flow.packets.push_back(make(net::duration_from_seconds(t),
+                                net::Direction::kUpstream, up,
+                                static_cast<std::uint32_t>(rng.uniform(100, 900))));
+    t += rng.uniform(0.002, 0.02);
+    const auto burst = static_cast<int>(rng.uniform(1, 12));
+    for (int i = 0; i < burst && t < end_s; ++i) {
+      flow.packets.push_back(make(net::duration_from_seconds(t),
+                                  net::Direction::kDownstream, up, 1460));
+      t += rng.uniform(0.0005, 0.004);
+    }
+    t += rng.uniform(0.1, 0.9);  // think time between API calls
+  }
+  return flow;
+}
+
+}  // namespace
+
+const char* to_string(PlatformPhase phase) {
+  switch (phase) {
+    case PlatformPhase::kAdminApi: return "admin-api";
+    case PlatformPhase::kServerAllocate: return "server-allocate";
+    case PlatformPhase::kConnectivityProbe: return "connectivity-probe";
+  }
+  return "?";
+}
+
+std::vector<PlatformFlow> platform_session_anatomy(net::Ipv4Addr client_ip,
+                                                   net::Ipv4Addr server_ip,
+                                                   net::Timestamp stream_start,
+                                                   ml::Rng& rng) {
+  std::vector<PlatformFlow> flows;
+  const double start = net::duration_to_seconds(stream_start);
+
+  // Platform API endpoints (auth, catalog) live in a different prefix
+  // from the streaming servers.
+  const auto api_ip = net::Ipv4Addr::from_octets(
+      151, 101, static_cast<std::uint8_t>(rng.next_below(120) + 1),
+      static_cast<std::uint8_t>(rng.next_below(250) + 1));
+
+  // 1) Admin/API browsing: one or two HTTPS flows in the ~25 s before the
+  // stream (login, catalog, game selection).
+  const int api_flows = 1 + static_cast<int>(rng.next_below(2));
+  for (int i = 0; i < api_flows; ++i) {
+    const double flow_start = start - rng.uniform(12.0, 26.0);
+    flows.push_back(https_exchange(client_ip, api_ip, flow_start,
+                                   rng.uniform(4.0, 10.0),
+                                   PlatformPhase::kAdminApi, rng));
+  }
+
+  // 2) Server allocation: a short exchange with the regional broker just
+  // before the stream starts.
+  flows.push_back(https_exchange(client_ip, api_ip, start - rng.uniform(3.0, 6.0),
+                                 rng.uniform(1.0, 2.0),
+                                 PlatformPhase::kServerAllocate, rng));
+
+  // 3) Connectivity probes to the assigned streaming server: a handful of
+  // small UDP round trips on the control port right before streaming.
+  PlatformFlow probe;
+  probe.phase = PlatformPhase::kConnectivityProbe;
+  const net::FiveTuple up{
+      client_ip, server_ip,
+      static_cast<std::uint16_t>(49152 + rng.next_below(16000)), 49005, 17};
+  double t = start - rng.uniform(0.8, 2.0);
+  for (int i = 0; i < 8; ++i) {
+    probe.packets.push_back(make(net::duration_from_seconds(t),
+                                 net::Direction::kUpstream, up,
+                                 static_cast<std::uint32_t>(rng.uniform(40, 120))));
+    t += rng.uniform(0.004, 0.015);
+    probe.packets.push_back(make(net::duration_from_seconds(t),
+                                 net::Direction::kDownstream, up,
+                                 static_cast<std::uint32_t>(rng.uniform(40, 120))));
+    t += rng.uniform(0.02, 0.08);
+    if (net::duration_from_seconds(t) >= stream_start) break;
+  }
+  flows.push_back(std::move(probe));
+  return flows;
+}
+
+std::vector<net::PacketRecord> flatten(const std::vector<PlatformFlow>& flows) {
+  std::vector<net::PacketRecord> out;
+  for (const PlatformFlow& flow : flows)
+    out.insert(out.end(), flow.packets.begin(), flow.packets.end());
+  std::sort(out.begin(), out.end(),
+            [](const net::PacketRecord& a, const net::PacketRecord& b) {
+              return a.timestamp < b.timestamp;
+            });
+  return out;
+}
+
+}  // namespace cgctx::sim

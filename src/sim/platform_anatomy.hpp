@@ -1,0 +1,45 @@
+// Pre-gameplay platform session anatomy.
+//
+// Before a cloud game streams, the client converses with the platform's
+// administrative services: authentication and catalog browsing over
+// HTTPS, then a server-allocation exchange, then connectivity probes to
+// the assigned streaming server (the anatomy measured by Lyu et al.
+// PAM'24, which the paper builds on). These flows precede the RTP
+// streaming flow at the vantage point; the detector must not mistake
+// them for the stream, and a realistic replay includes them.
+#pragma once
+
+#include <vector>
+
+#include "ml/rng.hpp"
+#include "net/packet.hpp"
+
+namespace cgctx::sim {
+
+/// One platform phase's flow, labeled for tests/visualization.
+enum class PlatformPhase : std::uint8_t {
+  kAdminApi,        ///< HTTPS to platform API (auth, catalog, entitlement)
+  kServerAllocate,  ///< allocation exchange with the regional broker
+  kConnectivityProbe,  ///< short UDP probes to the assigned game server
+};
+
+const char* to_string(PlatformPhase phase);
+
+struct PlatformFlow {
+  PlatformPhase phase = PlatformPhase::kAdminApi;
+  std::vector<net::PacketRecord> packets;
+};
+
+/// Generates the platform-administration traffic preceding one streaming
+/// session: flows start before `stream_start` and finish by it (the
+/// probe flow targets `server_ip`, the streaming server, on a nearby
+/// port). Deterministic given the RNG.
+std::vector<PlatformFlow> platform_session_anatomy(net::Ipv4Addr client_ip,
+                                                   net::Ipv4Addr server_ip,
+                                                   net::Timestamp stream_start,
+                                                   ml::Rng& rng);
+
+/// Flattens the anatomy into a single time-sorted packet list.
+std::vector<net::PacketRecord> flatten(const std::vector<PlatformFlow>& flows);
+
+}  // namespace cgctx::sim

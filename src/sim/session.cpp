@@ -1,0 +1,416 @@
+#include "sim/session.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/launch_signature.hpp"
+#include "sim/volumetric.hpp"
+
+namespace cgctx::sim {
+
+namespace {
+
+
+constexpr std::uint8_t kVideoPayloadType = 98;
+constexpr std::uint8_t kInputPayloadType = 101;
+constexpr double kRtpClockHz = 90000.0;
+
+/// Bytes/s of one Mbps.
+constexpr double kBytesPerMbps = 1e6 / 8.0;
+
+/// Per-session rendering state shared by the launch and gameplay phases.
+struct RenderState {
+  net::FiveTuple down_tuple;  ///< server -> client
+  net::FiveTuple up_tuple;    ///< client -> server
+  std::uint32_t down_ssrc = 0;
+  std::uint32_t up_ssrc = 0;
+  std::uint16_t down_seq = 0;
+  std::uint16_t up_seq = 0;
+};
+
+/// Emits one downstream packet (subject to loss) and tallies the slot.
+void emit_down(std::vector<net::PacketRecord>& out, RenderState& state,
+               net::Timestamp t, std::uint32_t payload, bool marker,
+               double media_time_s, const NetworkConditions& network,
+               ml::Rng& rng, std::uint64_t& dropped, std::uint64_t& total) {
+  ++total;
+  const std::uint16_t seq = state.down_seq++;
+  if (rng.chance(network.loss_rate)) {
+    ++dropped;
+    return;
+  }
+  net::PacketRecord pkt;
+  pkt.timestamp = t + net::duration_from_millis(rng.normal(0.0, network.jitter_ms));
+  pkt.direction = net::Direction::kDownstream;
+  pkt.tuple = state.down_tuple;
+  pkt.payload_size = payload;
+  net::RtpHeader rtp;
+  rtp.payload_type = kVideoPayloadType;
+  rtp.marker = marker;
+  rtp.sequence = seq;
+  rtp.rtp_timestamp = static_cast<std::uint32_t>(media_time_s * kRtpClockHz);
+  rtp.ssrc = state.down_ssrc;
+  pkt.rtp = rtp;
+  out.push_back(pkt);
+}
+
+void emit_up(std::vector<net::PacketRecord>& out, RenderState& state,
+             net::Timestamp t, std::uint32_t payload, double media_time_s,
+             const NetworkConditions& network, ml::Rng& rng) {
+  const std::uint16_t seq = state.up_seq++;
+  if (rng.chance(network.loss_rate)) return;
+  net::PacketRecord pkt;
+  pkt.timestamp = t + net::duration_from_millis(rng.normal(0.0, network.jitter_ms));
+  pkt.direction = net::Direction::kUpstream;
+  pkt.tuple = state.up_tuple;
+  pkt.payload_size = payload;
+  net::RtpHeader rtp;
+  rtp.payload_type = kInputPayloadType;
+  rtp.marker = false;
+  rtp.sequence = seq;
+  rtp.rtp_timestamp = static_cast<std::uint32_t>(media_time_s * kRtpClockHz);
+  rtp.ssrc = state.up_ssrc;
+  pkt.rtp = rtp;
+  out.push_back(pkt);
+}
+
+}  // namespace
+
+const char* to_string(CloudPlatform platform) {
+  switch (platform) {
+    case CloudPlatform::kGeforceNow: return "GeForce NOW";
+    case CloudPlatform::kXboxCloud: return "Xbox Cloud Gaming";
+    case CloudPlatform::kAmazonLuna: return "Amazon Luna";
+    case CloudPlatform::kPsCloudStreaming: return "PS5 Cloud Streaming";
+  }
+  return "?";
+}
+
+std::uint16_t streaming_port(CloudPlatform platform) {
+  // Representative ports inside each platform's documented range
+  // (GeForce NOW 49003-49006 per NVIDIA; others per the detection
+  // signatures of the works the paper adapts).
+  switch (platform) {
+    case CloudPlatform::kGeforceNow: return 49004;
+    case CloudPlatform::kXboxCloud: return 9002;
+    case CloudPlatform::kAmazonLuna: return 44353;
+    case CloudPlatform::kPsCloudStreaming: return 9296;
+  }
+  return 49004;
+}
+
+double demand_mbps(const GameInfo& game, const ClientConfig& config) {
+  // Catalog peak demand is quoted at the best setting (UHD@120); scale
+  // down by resolution and (sub-linearly) frame rate. The discrete
+  // resolution steps are what create the per-title bandwidth clusters the
+  // paper observes in Fig. 12(a).
+  const double res_factor =
+      resolution_bitrate_factor(config.resolution) /
+      resolution_bitrate_factor(Resolution::kUhd);
+  const double fps_factor = 0.55 + 0.45 * (static_cast<double>(config.fps) / 120.0);
+  return game.peak_demand_mbps * res_factor * fps_factor;
+}
+
+LabeledSession SessionGenerator::generate(const SessionSpec& spec) const {
+  return generate_impl(spec, /*render_gameplay_packets=*/true);
+}
+
+LabeledSession SessionGenerator::generate_slots_only(
+    const SessionSpec& spec) const {
+  return generate_impl(spec, /*render_gameplay_packets=*/false);
+}
+
+LabeledSession SessionGenerator::generate_impl(
+    const SessionSpec& spec, bool render_gameplay_packets) const {
+  ml::Rng rng(spec.seed);
+  const GameInfo& game = info(spec.title);
+  // Long-tail pseudo-titles stand for many distinct games: each session
+  // draws its own launch fingerprint.
+  const bool is_tail = static_cast<std::size_t>(spec.title) >= kNumPopularTitles;
+  const LaunchSignature sig = is_tail
+                                  ? tail_signature(spec.title, spec.seed)
+                                  : launch_signature(spec.title);
+
+  LabeledSession session;
+  session.spec = spec;
+
+  // Addressing: one subscriber host behind the ISP, one regional cloud
+  // gaming server.
+  session.client_ip = net::Ipv4Addr::from_octets(
+      10, static_cast<std::uint8_t>(rng.next_below(250) + 1),
+      static_cast<std::uint8_t>(rng.next_below(250) + 1),
+      static_cast<std::uint8_t>(rng.next_below(250) + 1));
+  const auto server_ip = net::Ipv4Addr::from_octets(
+      119, 81, static_cast<std::uint8_t>(rng.next_below(16) + 1),
+      static_cast<std::uint8_t>(rng.next_below(250) + 1));
+  const auto client_port =
+      static_cast<std::uint16_t>(49152 + rng.next_below(16000));
+  session.tuple = net::FiveTuple{session.client_ip, server_ip, client_port,
+                                 streaming_port(spec.platform), 17};
+
+  RenderState state;
+  state.up_tuple = session.tuple;
+  state.down_tuple = session.tuple.reversed();
+  state.down_ssrc = static_cast<std::uint32_t>(rng.next_u64());
+  state.up_ssrc = static_cast<std::uint32_t>(rng.next_u64());
+
+  // Session peak rates. A congested access link caps the stream below the
+  // title's demand; `quality` < 1 then degrades delivered frame rate.
+  const double demand = demand_mbps(game, spec.config);
+  session.peak_down_mbps = std::min(demand, spec.network.bandwidth_mbps * 0.85);
+  const double quality = std::min(1.0, session.peak_down_mbps / demand);
+  session.peak_up_pps = 60.0 + 0.5 * static_cast<double>(spec.config.fps);
+
+  session.launch_begin = spec.start_time;
+  session.gameplay_begin =
+      spec.start_time + net::duration_from_seconds(sig.duration_s);
+  session.end =
+      session.gameplay_begin + net::duration_from_seconds(spec.gameplay_seconds);
+
+  // Ground-truth stage timeline for the gameplay phase.
+  const StageMarkovModel stage_model = StageMarkovModel::for_title(game);
+  session.stages = stage_model.generate(
+      session.gameplay_begin, session.end - session.gameplay_begin, rng);
+
+  // --- Session-level launch rendering noise (what keeps classification
+  // below 100%): a small arrival delay, a payload re-scale, a rate
+  // re-scale, and occasional missing bands.
+  const double time_offset_s = rng.uniform(0.0, 1.5);
+  const double payload_scale = rng.uniform(0.95, 1.05);
+  const double rate_scale = rng.uniform(0.78, 1.22);
+  std::vector<bool> keep_band(sig.steady_bands.size());
+  std::vector<double> band_scale(sig.steady_bands.size());
+  for (std::size_t b = 0; b < keep_band.size(); ++b) {
+    keep_band[b] = rng.chance(0.94);
+    band_scale[b] = rng.uniform(0.96, 1.04);
+  }
+
+  const auto total_slots = static_cast<std::size_t>(
+      std::ceil(sig.duration_s + spec.gameplay_seconds));
+  session.slots.resize(total_slots);
+  const auto launch_slots = static_cast<std::size_t>(std::ceil(sig.duration_s));
+
+  // --- Launch phase: render the packet-group signature.
+  for (std::size_t slot = 0; slot < launch_slots; ++slot) {
+    const double slot_begin = static_cast<double>(slot);
+    const double slot_end = std::min(slot_begin + 1.0, sig.duration_s);
+    const double slot_span = slot_end - slot_begin;
+    std::uint64_t dropped = 0;
+    std::uint64_t offered = 0;
+    auto& sample = session.slots[slot];
+
+    auto to_time = [&](double offset_in_slot) {
+      return spec.start_time +
+             net::duration_from_seconds(slot_begin + offset_in_slot +
+                                        time_offset_s);
+    };
+
+    // Full packets: evenly spaced at the per-slot signature density.
+    const auto full_count = static_cast<std::size_t>(std::llround(
+        sig.full_pps[std::min(slot, sig.full_pps.size() - 1)] * rate_scale *
+        rng.uniform(0.93, 1.07) * slot_span));
+    for (std::size_t i = 0; i < full_count; ++i) {
+      const double offset =
+          (static_cast<double>(i) + 0.5) / static_cast<double>(full_count);
+      emit_down(session.packets, state, to_time(offset * slot_span),
+                kFullPayloadBytes, false, slot_begin + offset, spec.network,
+                rng, dropped, offered);
+    }
+
+    // Steady bands overlapping this slot.
+    for (std::size_t b = 0; b < sig.steady_bands.size(); ++b) {
+      if (!keep_band[b]) continue;
+      const SteadyBand& band = sig.steady_bands[b];
+      const double lo = std::max(band.start_s, slot_begin);
+      const double hi = std::min(band.end_s, slot_end);
+      if (hi <= lo) continue;
+      const auto count = static_cast<std::size_t>(
+          std::llround(band.pps * rate_scale * (hi - lo)));
+      for (std::size_t i = 0; i < count; ++i) {
+        const double t = rng.uniform(lo, hi);
+        const double payload =
+            band.payload_center * payload_scale * band_scale[b] +
+            rng.uniform(-band.payload_width, band.payload_width);
+        emit_down(session.packets, state, to_time(t - slot_begin),
+                  static_cast<std::uint32_t>(
+                      std::clamp(payload, 40.0,
+                                 static_cast<double>(kFullPayloadBytes - 1))),
+                  false, t, spec.network, rng, dropped, offered);
+      }
+    }
+
+    // Sparse bursts overlapping this slot.
+    for (const SparseBurst& burst : sig.sparse_bursts) {
+      const double lo = std::max(burst.start_s, slot_begin);
+      const double hi = std::min(burst.end_s, slot_end);
+      if (hi <= lo) continue;
+      const auto count = static_cast<std::size_t>(
+          std::llround(burst.pps * rate_scale * (hi - lo)));
+      for (std::size_t i = 0; i < count; ++i) {
+        const double t = rng.uniform(lo, hi);
+        emit_down(session.packets, state, to_time(t - slot_begin),
+                  static_cast<std::uint32_t>(
+                      rng.uniform(burst.payload_min, burst.payload_max)),
+                  false, t, spec.network, rng, dropped, offered);
+      }
+    }
+
+    // Sparse upstream control chatter during the launch animation.
+    const auto up_count = static_cast<std::size_t>(
+        std::llround(12.0 * slot_span * rng.uniform(0.7, 1.3)));
+    for (std::size_t i = 0; i < up_count; ++i) {
+      const double t = rng.uniform(slot_begin, slot_end);
+      emit_up(session.packets, state, to_time(t - slot_begin),
+              static_cast<std::uint32_t>(rng.uniform(60.0, 130.0)), t,
+              spec.network, rng);
+    }
+
+    // Launch slot telemetry (from what was just rendered).
+    sample.frames = static_cast<double>(spec.config.fps) *
+                    kLaunchLevels.frame_rate * rng.uniform(0.95, 1.05);
+    sample.rtt_ms = spec.network.rtt_ms * rng.uniform(0.95, 1.15);
+    sample.loss_rate = offered == 0 ? 0.0
+                                    : static_cast<double>(dropped) /
+                                          static_cast<double>(offered);
+  }
+  // Tally launch packet/byte counts into the slot samples.
+  for (const net::PacketRecord& pkt : session.packets) {
+    const auto slot = static_cast<std::size_t>(
+        net::duration_to_seconds(pkt.timestamp - spec.start_time));
+    if (slot >= session.slots.size()) continue;
+    auto& sample = session.slots[slot];
+    if (pkt.direction == net::Direction::kDownstream) {
+      ++sample.down_packets;
+      sample.down_bytes += pkt.payload_size;
+    } else {
+      ++sample.up_packets;
+      sample.up_bytes += pkt.payload_size;
+    }
+  }
+
+  // --- Gameplay phase.
+  const double peak_bytes_per_s = session.peak_down_mbps * kBytesPerMbps;
+  const double mean_up_payload = 95.0;
+  for (std::size_t slot = launch_slots; slot < total_slots; ++slot) {
+    const double slot_begin = static_cast<double>(slot);
+    const net::Timestamp slot_time =
+        spec.start_time + net::duration_from_seconds(slot_begin + 0.5);
+    const Stage stage = stage_at(session.stages, slot_time);
+    const StageLevels& levels = kStageLevels[static_cast<std::size_t>(stage)];
+    auto& sample = session.slots[slot];
+
+    // Per-slot noise plus the occasional contradictory spike.
+    double down_level = levels.down_throughput *
+                        rng.uniform(kSlotNoiseLow, kSlotNoiseHigh);
+    double up_level =
+        levels.up_packet_rate * rng.uniform(kSlotNoiseLow, kSlotNoiseHigh);
+    if (rng.chance(kSpikeProbability)) {
+      if (rng.chance(0.5)) {
+        up_level = std::min(1.2, up_level * kSpikeUpFactor);
+      } else {
+        down_level *= kSpikeDownFactor;
+      }
+    }
+
+    const double down_bytes_target = peak_bytes_per_s * down_level;
+    const double fps_eff = std::max(
+        8.0, static_cast<double>(spec.config.fps) * levels.frame_rate *
+                 std::pow(quality, 0.7) * rng.uniform(0.95, 1.05));
+    const double up_pkts_target = session.peak_up_pps * up_level;
+
+    sample.frames = fps_eff;
+    sample.rtt_ms = spec.network.rtt_ms * rng.uniform(0.95, 1.15);
+
+    if (render_gameplay_packets) {
+      std::uint64_t dropped = 0;
+      std::uint64_t offered = 0;
+      // Downstream: fps_eff frames, each split into full packets plus a
+      // remainder packet carrying the RTP marker.
+      const auto frames = static_cast<std::size_t>(std::llround(fps_eff));
+      const double frame_bytes =
+          down_bytes_target / std::max<double>(1.0, fps_eff);
+      for (std::size_t f = 0; f < frames; ++f) {
+        const double frame_time =
+            slot_begin + (static_cast<double>(f) + 0.2) /
+                             std::max<double>(1.0, fps_eff);
+        auto remaining = static_cast<std::int64_t>(
+            frame_bytes * rng.uniform(0.9, 1.1));
+        std::size_t idx = 0;
+        while (remaining > 0) {
+          const auto payload = static_cast<std::uint32_t>(std::min<std::int64_t>(
+              remaining, kFullPayloadBytes));
+          remaining -= payload;
+          const bool marker = remaining <= 0;
+          // Packets of a frame leave the encoder back-to-back (~60 us).
+          emit_down(session.packets, state,
+                    spec.start_time + net::duration_from_seconds(
+                                          frame_time + 60e-6 *
+                                                           static_cast<double>(idx)),
+                    std::max<std::uint32_t>(payload, 40), marker, frame_time,
+                    spec.network, rng, dropped, offered);
+          ++idx;
+        }
+      }
+      // Upstream: independent input packets spread over the slot.
+      const auto up_count =
+          static_cast<std::size_t>(std::llround(up_pkts_target));
+      for (std::size_t i = 0; i < up_count; ++i) {
+        const double t = rng.uniform(slot_begin, slot_begin + 1.0);
+        emit_up(session.packets, state,
+                spec.start_time + net::duration_from_seconds(t),
+                static_cast<std::uint32_t>(std::clamp(
+                    rng.normal(mean_up_payload, 22.0), 40.0, 260.0)),
+                t, spec.network, rng);
+      }
+      sample.loss_rate = offered == 0 ? 0.0
+                                      : static_cast<double>(dropped) /
+                                            static_cast<double>(offered);
+    } else {
+      // Slot fidelity: analytic telemetry, loss applied in expectation.
+      const double survive = 1.0 - spec.network.loss_rate;
+      const double mean_down_payload = kFullPayloadBytes * 0.86;
+      sample.down_bytes =
+          static_cast<std::uint64_t>(down_bytes_target * survive);
+      sample.down_packets = static_cast<std::uint64_t>(
+          down_bytes_target / mean_down_payload * survive);
+      sample.up_packets =
+          static_cast<std::uint64_t>(up_pkts_target * survive);
+      sample.up_bytes = static_cast<std::uint64_t>(
+          up_pkts_target * mean_up_payload * survive);
+      sample.loss_rate = spec.network.loss_rate * rng.uniform(0.5, 1.5);
+    }
+  }
+
+  if (render_gameplay_packets) {
+    // Gameplay packets were appended after the launch tally; zero the
+    // gameplay slots and fold the rendered packets in.
+    for (std::size_t i = launch_slots; i < session.slots.size(); ++i) {
+      session.slots[i].down_bytes = 0;
+      session.slots[i].down_packets = 0;
+      session.slots[i].up_bytes = 0;
+      session.slots[i].up_packets = 0;
+    }
+    for (const net::PacketRecord& pkt : session.packets) {
+      const auto slot = static_cast<std::size_t>(
+          net::duration_to_seconds(pkt.timestamp - spec.start_time));
+      if (slot < launch_slots || slot >= session.slots.size()) continue;
+      auto& sample = session.slots[slot];
+      if (pkt.direction == net::Direction::kDownstream) {
+        ++sample.down_packets;
+        sample.down_bytes += pkt.payload_size;
+      } else {
+        ++sample.up_packets;
+        sample.up_bytes += pkt.payload_size;
+      }
+    }
+  }
+
+  // Deliver in arrival order (jitter may have reordered emissions).
+  std::sort(session.packets.begin(), session.packets.end(),
+            [](const net::PacketRecord& a, const net::PacketRecord& b) {
+              return a.timestamp < b.timestamp;
+            });
+  return session;
+}
+
+}  // namespace cgctx::sim

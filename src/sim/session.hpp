@@ -1,0 +1,136 @@
+// Synthetic cloud-game streaming session generator.
+//
+// This is the repo's substitute for the paper's labeled PCAP dataset and
+// field deployment: it renders complete, ground-truth-labeled sessions
+// whose traffic reproduces every phenomenon §3 reports. A session is
+//
+//   [ launch stage ][ gameplay: idle | active | passive | ... ]
+//
+// where the launch stage renders the title's packet-group signature
+// (launch_signature.hpp) and gameplay renders the semi-Markov stage
+// timeline (stage_model.hpp) through the per-stage volumetric levels
+// (volumetric.hpp), under configurable client settings and network
+// conditions.
+//
+// Two fidelities share one engine:
+//  - packet fidelity: every RTP packet materialized (lab-scale sessions);
+//  - slot fidelity: per-second volumetric/QoS summaries for arbitrarily
+//    long sessions, with packets materialized only for the launch window
+//    (all the title classifier needs). This mirrors how an ISP-scale
+//    deployment consumes flow telemetry rather than raw packets.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/rng.hpp"
+#include "net/packet.hpp"
+#include "sim/catalog.hpp"
+#include "sim/config.hpp"
+#include "sim/stage_model.hpp"
+
+namespace cgctx::sim {
+
+/// Cloud gaming platform the session streams from. The partner ISP hosts
+/// GeForce NOW, but the lab also captured Xbox Cloud Gaming, Amazon Luna
+/// and PS5 Cloud Streaming sessions (paper §3.1); platforms differ at
+/// the flow-metadata level (server port ranges) while the gameplay
+/// phenomena are shared.
+enum class CloudPlatform : std::uint8_t {
+  kGeforceNow,
+  kXboxCloud,
+  kAmazonLuna,
+  kPsCloudStreaming,
+};
+
+const char* to_string(CloudPlatform platform);
+
+/// The server-side UDP streaming port the simulator uses for a platform
+/// (a representative value inside each platform's documented range).
+std::uint16_t streaming_port(CloudPlatform platform);
+
+/// Everything needed to (re)generate one session deterministically.
+struct SessionSpec {
+  GameTitle title = GameTitle::kFortnite;
+  ClientConfig config;
+  NetworkConditions network = NetworkConditions::lab();
+  double gameplay_seconds = 180.0;
+  std::uint64_t seed = 1;
+  net::Timestamp start_time = 0;
+  CloudPlatform platform = CloudPlatform::kGeforceNow;
+};
+
+/// Per-second bidirectional telemetry for one session slot — the four
+/// volumetric attributes of §4.3.1 plus the QoS/QoE observables the
+/// network observability module measures (frame delivery, latency, loss).
+struct SlotSample {
+  std::uint64_t down_bytes = 0;
+  std::uint64_t down_packets = 0;
+  std::uint64_t up_bytes = 0;
+  std::uint64_t up_packets = 0;
+  double frames = 0.0;     ///< video frames delivered this second
+  double rtt_ms = 0.0;     ///< measured round-trip latency
+  double loss_rate = 0.0;  ///< measured packet loss fraction
+};
+
+/// The downstream demand (Mbps) of a title at given client settings,
+/// before any network cap: peak catalog demand scaled by resolution and
+/// frame rate. This produces the per-title bandwidth clusters of Fig. 12.
+double demand_mbps(const GameInfo& game, const ClientConfig& config);
+
+/// A fully generated, ground-truth-labeled session.
+struct LabeledSession {
+  SessionSpec spec;
+  net::FiveTuple tuple;      ///< client -> server orientation
+  net::Ipv4Addr client_ip;   ///< subscriber endpoint (Direction reference)
+
+  net::Timestamp launch_begin = 0;
+  net::Timestamp gameplay_begin = 0;  ///< == launch_begin + launch duration
+  net::Timestamp end = 0;
+
+  /// Time-sorted packets (both directions). Packet fidelity: the whole
+  /// session. Slot fidelity: the launch window only.
+  std::vector<net::PacketRecord> packets;
+
+  /// Per-second telemetry covering the whole session (index 0 = first
+  /// second after launch_begin). Present in both fidelities.
+  std::vector<SlotSample> slots;
+
+  /// Ground-truth gameplay stage timeline (excludes the launch stage).
+  std::vector<StageInterval> stages;
+
+  /// Session peak downstream rate (Mbps) after the network cap; the
+  /// reference the per-stage relative levels are rendered against.
+  double peak_down_mbps = 0.0;
+  /// Peak upstream input packet rate (packets/s).
+  double peak_up_pps = 0.0;
+
+  [[nodiscard]] double duration_seconds() const {
+    return net::duration_to_seconds(end - launch_begin);
+  }
+  /// Ground-truth stage at time t (launch window reported as kIdle; use
+  /// in_launch() to distinguish).
+  [[nodiscard]] Stage stage_label_at(net::Timestamp t) const {
+    return stage_at(stages, t);
+  }
+  [[nodiscard]] bool in_launch(net::Timestamp t) const {
+    return t >= launch_begin && t < gameplay_begin;
+  }
+};
+
+class SessionGenerator {
+ public:
+  /// Renders every packet of the session. Intended for lab-scale
+  /// gameplay durations (seconds to minutes).
+  [[nodiscard]] LabeledSession generate(const SessionSpec& spec) const;
+
+  /// Renders launch packets + slot telemetry only; gameplay packets are
+  /// not materialized. Safe for hour-long sessions.
+  [[nodiscard]] LabeledSession generate_slots_only(const SessionSpec& spec) const;
+
+ private:
+  [[nodiscard]] LabeledSession generate_impl(const SessionSpec& spec,
+                                             bool render_gameplay_packets) const;
+};
+
+}  // namespace cgctx::sim

@@ -1,0 +1,121 @@
+#include "sim/stage_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cgctx::sim {
+
+const char* to_string(Stage stage) {
+  switch (stage) {
+    case Stage::kActive: return "active";
+    case Stage::kPassive: return "passive";
+    case Stage::kIdle: return "idle";
+  }
+  return "?";
+}
+
+StageMarkovModel StageMarkovModel::for_title(const GameInfo& game) {
+  StageMarkovModel model;
+  model.mean_dwell_ = game.stage_dwell_seconds;
+
+  // Long-run fraction f_s = visit_rate_s * dwell_s, so the embedded jump
+  // chain must visit stage s at rate proportional to f_s / dwell_s.
+  // Choosing P(next = t | leaving s) proportional to that visit rate
+  // (excluding s itself) reproduces the target fractions closely.
+  std::array<double, kNumStages> visit_rate{};
+  for (std::size_t s = 0; s < kNumStages; ++s)
+    visit_rate[s] = game.stage_fraction[s] / game.stage_dwell_seconds[s];
+  for (std::size_t s = 0; s < kNumStages; ++s) {
+    double total = 0.0;
+    for (std::size_t t = 0; t < kNumStages; ++t)
+      if (t != s) total += visit_rate[t];
+    for (std::size_t t = 0; t < kNumStages; ++t)
+      model.jump_[s][t] = (t == s || total == 0.0) ? 0.0 : visit_rate[t] / total;
+  }
+  return model;
+}
+
+std::vector<StageInterval> StageMarkovModel::generate(net::Timestamp start,
+                                                      net::Duration duration,
+                                                      ml::Rng& rng) const {
+  std::vector<StageInterval> timeline;
+  const net::Timestamp end = start + duration;
+  net::Timestamp cursor = start;
+  Stage current = Stage::kIdle;  // lobby / login comes first
+  bool has_played = false;       // passive (spectating) requires prior play
+
+  // Per-session player variability: how often this player ends up
+  // spectating varies widely (skill, game mode, party play). Scaling the
+  // jump probability into the passive stage makes per-session stage
+  // mixes overlap across the two activity patterns, so pattern inference
+  // must read the transition *structure*, not a single fraction.
+  const double passivity = rng.uniform(0.55, 1.65);
+  auto jump_to = [&](std::size_t from, double u) {
+    std::array<double, kNumStages> row = jump_[from];
+    row[static_cast<std::size_t>(Stage::kPassive)] *= passivity;
+    double total = 0.0;
+    for (double p : row) total += p;
+    double acc = 0.0;
+    for (std::size_t t = 0; t < kNumStages; ++t) {
+      acc += row[t] / total;
+      if (u < acc) return static_cast<Stage>(t);
+    }
+    return static_cast<Stage>(kNumStages - 1);
+  };
+
+  while (cursor < end) {
+    const auto s = static_cast<std::size_t>(current);
+    // Dwell: a 5-second floor (a stage shorter than that is not
+    // observable at 1 s slot granularity) plus an exponential tail.
+    const double mean = mean_dwell_[s];
+    const double floor_s = std::min(5.0, mean * 0.5);
+    const double tail = -(mean - floor_s) * std::log(1.0 - rng.next_double());
+    const auto dwell = net::duration_from_seconds(floor_s + tail);
+    const net::Timestamp interval_end = std::min(end, cursor + dwell);
+    // Merge with the previous interval if the jump chain revisited the
+    // same stage (possible only via numeric corner cases).
+    if (!timeline.empty() && timeline.back().stage == current) {
+      timeline.back().end = interval_end;
+    } else {
+      timeline.push_back(StageInterval{cursor, interval_end, current});
+    }
+    cursor = interval_end;
+
+    if (current == Stage::kActive) has_played = true;
+
+    // Jump to the next stage.
+    current = jump_to(s, rng.next_double());
+    // A player cannot spectate (passive) before having played: the match
+    // must start before the player can be eliminated and watch teammates.
+    if (current == Stage::kPassive && !has_played) current = Stage::kActive;
+  }
+  return timeline;
+}
+
+std::array<std::array<double, kNumStages>, kNumStages>
+StageMarkovModel::slot_transition_matrix() const {
+  std::array<std::array<double, kNumStages>, kNumStages> matrix{};
+  for (std::size_t s = 0; s < kNumStages; ++s) {
+    const double leave = std::min(1.0, 1.0 / mean_dwell_[s]);
+    for (std::size_t t = 0; t < kNumStages; ++t)
+      matrix[s][t] = t == s ? 1.0 - leave : leave * jump_[s][t];
+  }
+  return matrix;
+}
+
+Stage stage_at(const std::vector<StageInterval>& timeline, net::Timestamp t) {
+  for (const StageInterval& interval : timeline)
+    if (t >= interval.begin && t < interval.end) return interval.stage;
+  return Stage::kIdle;
+}
+
+std::array<double, kNumStages> stage_seconds(
+    const std::vector<StageInterval>& timeline) {
+  std::array<double, kNumStages> seconds{};
+  for (const StageInterval& interval : timeline)
+    seconds[static_cast<std::size_t>(interval.stage)] +=
+        net::duration_to_seconds(interval.duration());
+  return seconds;
+}
+
+}  // namespace cgctx::sim

@@ -1,0 +1,78 @@
+// Player activity stage dynamics (paper §2.1, §3.3, Fig. 5).
+//
+// Within gameplay, the player cycles through three activity stages —
+// idle (lobby / menus / dialogue), passive (spectating), and active
+// (playing) — whose dwell times and visit frequencies differ by title and
+// by the title's gameplay activity pattern. We model this as a
+// semi-Markov process: exponential-ish dwell in each stage, then a jump
+// chosen from an embedded transition distribution derived from the
+// catalog's long-run stage fractions and mean dwells.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "ml/rng.hpp"
+#include "net/time.hpp"
+#include "sim/catalog.hpp"
+
+namespace cgctx::sim {
+
+/// Player activity stage: the classification target of paper §4.3.1.
+enum class Stage : std::uint8_t { kActive = 0, kPassive = 1, kIdle = 2 };
+inline constexpr std::size_t kNumStages = 3;
+
+const char* to_string(Stage stage);
+
+/// One ground-truth labeled interval of a session timeline.
+struct StageInterval {
+  net::Timestamp begin = 0;
+  net::Timestamp end = 0;  ///< exclusive
+  Stage stage = Stage::kIdle;
+
+  [[nodiscard]] net::Duration duration() const { return end - begin; }
+};
+
+/// Semi-Markov stage process for one title.
+class StageMarkovModel {
+ public:
+  /// Derives the model from a title's catalog entry: mean dwell per stage
+  /// and an embedded jump distribution chosen so long-run time fractions
+  /// approximate GameInfo::stage_fraction.
+  static StageMarkovModel for_title(const GameInfo& game);
+
+  /// Generates a ground-truth stage timeline covering exactly
+  /// [start, start + duration). Gameplay begins in the idle stage (lobby /
+  /// login), matching the sessions in paper Fig. 1.
+  [[nodiscard]] std::vector<StageInterval> generate(net::Timestamp start,
+                                                    net::Duration duration,
+                                                    ml::Rng& rng) const;
+
+  /// Theoretical per-slot (1 s) transition probability matrix implied by
+  /// the model: row = from stage, column = to stage. This is the Fig. 5
+  /// reference the empirical transition benches compare against.
+  [[nodiscard]] std::array<std::array<double, kNumStages>, kNumStages>
+  slot_transition_matrix() const;
+
+  [[nodiscard]] const std::array<double, kNumStages>& mean_dwell_seconds()
+      const {
+    return mean_dwell_;
+  }
+
+ private:
+  /// Mean dwell per stage, seconds (indexed by Stage).
+  std::array<double, kNumStages> mean_dwell_{};
+  /// Embedded jump distribution: jump_[s][t] = P(next = t | leaving s);
+  /// diagonal is zero.
+  std::array<std::array<double, kNumStages>, kNumStages> jump_{};
+};
+
+/// Looks up the stage covering `t` in a timeline (intervals are sorted and
+/// contiguous). Returns kIdle for times outside the timeline.
+Stage stage_at(const std::vector<StageInterval>& timeline, net::Timestamp t);
+
+/// Total time per stage over a timeline, seconds (indexed by Stage).
+std::array<double, kNumStages> stage_seconds(
+    const std::vector<StageInterval>& timeline);
+
+}  // namespace cgctx::sim

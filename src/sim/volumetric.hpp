@@ -1,0 +1,54 @@
+// Per-stage volumetric levels (paper §3.3, Fig. 4).
+//
+// The paper's key observation: the *relative* levels of the four
+// volumetric attributes (upstream/downstream throughput and packet rate)
+// against the session's peak are consistent per player activity stage
+// across all titles and configurations — active streams at peak in both
+// directions, passive keeps downstream high but upstream low (watching,
+// not playing), idle drops both to a trickle. These constants encode that
+// structure for the generator; the classifier has to rediscover it from
+// the rendered traffic.
+#pragma once
+
+#include <array>
+
+#include "sim/stage_model.hpp"
+
+namespace cgctx::sim {
+
+/// Relative volumetric level of one stage (fraction of the session peak).
+struct StageLevels {
+  double down_throughput = 1.0;
+  double up_packet_rate = 1.0;
+  /// Streaming frame rate as a fraction of the configured fps (graphics
+  /// refresh slows in static scenes, §3.3).
+  double frame_rate = 1.0;
+};
+
+/// Mean levels per stage (indexed by Stage: active, passive, idle).
+inline constexpr std::array<StageLevels, kNumStages> kStageLevels{{
+    {1.00, 1.00, 1.00},  // active: full-rate graphics + full-rate inputs
+    {0.84, 0.26, 0.95},  // passive: spectating - video stays, inputs drop
+    {0.14, 0.10, 0.40},  // idle: lobby/menu - low refresh, rare inputs
+}};
+
+/// Launch-stage levels relative to the same session peak: a moderate
+/// one-way animation stream with minimal user input.
+inline constexpr StageLevels kLaunchLevels{0.38, 0.05, 0.75};
+
+/// Multiplicative noise bounds applied to each 1-second slot.
+inline constexpr double kSlotNoiseLow = 0.88;
+inline constexpr double kSlotNoiseHigh = 1.12;
+
+/// Probability per slot of a short volumetric burst that contradicts the
+/// stage (e.g. an accidental mouse sweep while spectating, a momentary
+/// scene cut dropping the encoder output); this is the noise the paper's
+/// EMA smoothing (Eq. 1) exists to absorb. The bursts last well under a
+/// slot, so their slot-aggregated magnitude is moderate — raw values land
+/// near the classifier's decision boundary while the smoothed values stay
+/// on the correct side.
+inline constexpr double kSpikeProbability = 0.10;
+inline constexpr double kSpikeUpFactor = 2.2;
+inline constexpr double kSpikeDownFactor = 0.55;
+
+}  // namespace cgctx::sim

@@ -1,0 +1,67 @@
+#include "telemetry/aggregator.hpp"
+
+#include <sstream>
+
+namespace cgctx::telemetry {
+
+SessionSummary summarize(const core::SessionReport& report, std::string key) {
+  SessionSummary summary;
+  summary.key = std::move(key);
+  summary.duration_minutes = report.duration_s / 60.0;
+  for (std::size_t s = 0; s < core::kNumStageLabels; ++s)
+    summary.stage_minutes[s] = report.stage_seconds[s] / 60.0;
+  summary.mean_down_mbps = report.mean_down_mbps;
+  summary.objective = report.objective_session;
+  summary.effective = report.effective_session;
+  return summary;
+}
+
+double GroupStats::objective_fraction(core::QoeLevel level) const {
+  if (sessions == 0) return 0.0;
+  return static_cast<double>(objective_counts[static_cast<std::size_t>(level)]) /
+         static_cast<double>(sessions);
+}
+
+double GroupStats::effective_fraction(core::QoeLevel level) const {
+  if (sessions == 0) return 0.0;
+  return static_cast<double>(effective_counts[static_cast<std::size_t>(level)]) /
+         static_cast<double>(sessions);
+}
+
+void FleetAggregator::add(const SessionSummary& summary) {
+  GroupStats& group = groups_[summary.key];
+  ++group.sessions;
+  ++total_;
+  group.duration_minutes.add(summary.duration_minutes);
+  for (std::size_t s = 0; s < core::kNumStageLabels; ++s)
+    group.stage_minutes[s].add(summary.stage_minutes[s]);
+  group.mean_down_mbps.add(summary.mean_down_mbps);
+  ++group.objective_counts[static_cast<std::size_t>(summary.objective)];
+  ++group.effective_counts[static_cast<std::size_t>(summary.effective)];
+}
+
+std::string FleetAggregator::to_csv() const {
+  std::ostringstream os;
+  os << "key,sessions,mean_duration_min,active_min,passive_min,idle_min,"
+        "mean_mbps,p5_mbps,p95_mbps,"
+        "obj_bad,obj_medium,obj_good,eff_bad,eff_medium,eff_good\n";
+  for (const auto& [key, group] : groups_) {
+    os << key << ',' << group.sessions << ','
+       << group.duration_minutes.mean() << ','
+       << group.stage_minutes[0].mean() << ',' << group.stage_minutes[1].mean()
+       << ',' << group.stage_minutes[2].mean() << ','
+       << group.mean_down_mbps.mean() << ','
+       << group.mean_down_mbps.percentile(0.05) << ','
+       << group.mean_down_mbps.percentile(0.95);
+    for (const auto level :
+         {core::QoeLevel::kBad, core::QoeLevel::kMedium, core::QoeLevel::kGood})
+      os << ',' << group.objective_fraction(level);
+    for (const auto level :
+         {core::QoeLevel::kBad, core::QoeLevel::kMedium, core::QoeLevel::kGood})
+      os << ',' << group.effective_fraction(level);
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace cgctx::telemetry

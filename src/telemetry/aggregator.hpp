@@ -1,0 +1,66 @@
+// Fleet-level aggregation of pipeline session reports (paper §5).
+//
+// The deployment's value is aggregate visibility: per-title (or, for
+// unknown titles, per-activity-pattern) session durations, stage-time
+// composition (Fig. 11), bandwidth-demand distributions (Fig. 12), and
+// the objective-vs-effective QoE fractions (Fig. 13). Aggregation is by a
+// free-form string key so benches can group by title, genre, pattern, or
+// anything else.
+#pragma once
+
+#include <array>
+#include <map>
+#include <string>
+
+#include "core/pipeline.hpp"
+#include "telemetry/stats.hpp"
+
+namespace cgctx::telemetry {
+
+/// What one session contributes to the aggregates.
+struct SessionSummary {
+  std::string key;  ///< grouping key (title name, pattern, genre, ...)
+  double duration_minutes = 0.0;
+  /// Minutes classified per stage (active, passive, idle).
+  std::array<double, core::kNumStageLabels> stage_minutes{};
+  double mean_down_mbps = 0.0;
+  core::QoeLevel objective = core::QoeLevel::kGood;
+  core::QoeLevel effective = core::QoeLevel::kGood;
+};
+
+/// Builds a summary from a pipeline report under a caller-chosen key.
+SessionSummary summarize(const core::SessionReport& report, std::string key);
+
+/// Per-key aggregate statistics.
+struct GroupStats {
+  std::size_t sessions = 0;
+  SampleSeries duration_minutes;
+  std::array<SampleSeries, core::kNumStageLabels> stage_minutes;
+  SampleSeries mean_down_mbps;
+  std::array<std::size_t, 3> objective_counts{};  ///< bad/medium/good
+  std::array<std::size_t, 3> effective_counts{};
+
+  [[nodiscard]] double objective_fraction(core::QoeLevel level) const;
+  [[nodiscard]] double effective_fraction(core::QoeLevel level) const;
+};
+
+class FleetAggregator {
+ public:
+  void add(const SessionSummary& summary);
+
+  [[nodiscard]] const std::map<std::string, GroupStats>& groups() const {
+    return groups_;
+  }
+  [[nodiscard]] std::size_t total_sessions() const { return total_; }
+
+  /// CSV export: one row per group with duration/stage/throughput/QoE
+  /// aggregates (the interchange format of the paper's open-analytics
+  /// companion work).
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  std::map<std::string, GroupStats> groups_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace cgctx::telemetry

@@ -1,0 +1,77 @@
+#include "telemetry/provisioning.hpp"
+
+#include <algorithm>
+
+namespace cgctx::telemetry {
+
+const char* to_string(SlicePriority priority) {
+  switch (priority) {
+    case SlicePriority::kBestEffort: return "best-effort";
+    case SlicePriority::kPrioritized: return "prioritized";
+    case SlicePriority::kPremium: return "premium";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Merges src's observation series into dst.
+void merge(GroupStats& dst, const GroupStats& src) {
+  dst.sessions += src.sessions;
+  for (double v : src.duration_minutes.values()) dst.duration_minutes.add(v);
+  for (double v : src.mean_down_mbps.values()) dst.mean_down_mbps.add(v);
+  for (std::size_t s = 0; s < core::kNumStageLabels; ++s)
+    for (double v : src.stage_minutes[s].values()) dst.stage_minutes[s].add(v);
+  for (std::size_t i = 0; i < 3; ++i) {
+    dst.objective_counts[i] += src.objective_counts[i];
+    dst.effective_counts[i] += src.effective_counts[i];
+  }
+}
+
+}  // namespace
+
+void ProvisioningAdvisor::learn(const FleetAggregator& fleet) {
+  for (const auto& [key, stats] : fleet.groups()) {
+    merge(contexts_[key], stats);
+    merge(pooled_, stats);
+  }
+}
+
+SliceRecommendation ProvisioningAdvisor::build(const std::string& key,
+                                               const GroupStats& stats) const {
+  SliceRecommendation out;
+  out.context = key;
+  out.evidence_sessions = stats.sessions;
+  out.expected_minutes = stats.duration_minutes.mean();
+  out.capacity_mbps = stats.mean_down_mbps.percentile(
+                          policy_.capacity_percentile) *
+                      policy_.headroom;
+  out.priority = out.capacity_mbps >= policy_.premium_mbps
+                     ? SlicePriority::kPremium
+                 : out.capacity_mbps >= policy_.premium_mbps / 2.0
+                     ? SlicePriority::kPrioritized
+                     : SlicePriority::kBestEffort;
+  return out;
+}
+
+std::optional<SliceRecommendation> ProvisioningAdvisor::fleet_default() const {
+  if (pooled_.sessions == 0) return std::nullopt;
+  return build("(fleet default)", pooled_);
+}
+
+std::optional<SliceRecommendation> ProvisioningAdvisor::recommend(
+    const std::string& context) const {
+  const auto it = contexts_.find(context);
+  if (it != contexts_.end() && it->second.sessions >= policy_.min_sessions)
+    return build(context, it->second);
+  return fleet_default();
+}
+
+std::vector<SliceRecommendation> ProvisioningAdvisor::all() const {
+  std::vector<SliceRecommendation> out;
+  for (const auto& [key, stats] : contexts_)
+    if (stats.sessions >= policy_.min_sessions) out.push_back(build(key, stats));
+  return out;
+}
+
+}  // namespace cgctx::telemetry

@@ -1,0 +1,83 @@
+// Context-driven network resource provisioning (paper §5.1-§5.2).
+//
+// The point of classifying gameplay contexts in real time is to act on
+// them: "allocate 5G eMBB slices with prioritized QoS profiles ... with
+// an expected session duration and slice capacity, upon detecting a
+// newly commenced game streaming session". This module turns fleet
+// measurements into exactly that lookup: per context key (title or
+// pattern), an expected session duration and a recommended slice
+// capacity derived from the observed demand distribution, plus a
+// priority tier for admission control under contention.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "telemetry/aggregator.hpp"
+
+namespace cgctx::telemetry {
+
+/// Priority tier of a slice request (admission under contention).
+enum class SlicePriority : std::uint8_t { kBestEffort, kPrioritized, kPremium };
+
+const char* to_string(SlicePriority priority);
+
+/// One provisioning recommendation.
+struct SliceRecommendation {
+  std::string context;            ///< title or pattern key it applies to
+  double capacity_mbps = 0.0;     ///< slice capacity to reserve
+  double expected_minutes = 0.0;  ///< expected session duration
+  SlicePriority priority = SlicePriority::kBestEffort;
+  std::size_t evidence_sessions = 0;  ///< measurement support
+};
+
+struct ProvisioningPolicy {
+  /// Demand percentile reserved as slice capacity (0.95 keeps p95 of
+  /// sessions unconstrained without provisioning for the absolute max).
+  double capacity_percentile = 0.95;
+  /// Headroom multiplier on the percentile (bitrate variability within a
+  /// session exceeds the session-mean the aggregates store).
+  double headroom = 1.25;
+  /// Contexts above this capacity get premium priority; above half of
+  /// it, prioritized.
+  double premium_mbps = 30.0;
+  /// Minimum sessions before a context-specific recommendation is
+  /// trusted; thinner contexts fall back to the fleet-wide default.
+  std::size_t min_sessions = 5;
+};
+
+/// Builds per-context recommendations from measured fleet aggregates.
+class ProvisioningAdvisor {
+ public:
+  explicit ProvisioningAdvisor(ProvisioningPolicy policy = {})
+      : policy_(policy) {}
+
+  /// Ingests one aggregator's groups (callable repeatedly, e.g. once for
+  /// the per-title view and once for the per-pattern view).
+  void learn(const FleetAggregator& fleet);
+
+  /// Recommendation for a context key. Contexts with too little evidence
+  /// (or unknown keys) return the fleet-wide default recommendation;
+  /// nullopt only before any learning at all.
+  [[nodiscard]] std::optional<SliceRecommendation> recommend(
+      const std::string& context) const;
+
+  /// The fleet-wide fallback (all learned sessions pooled).
+  [[nodiscard]] std::optional<SliceRecommendation> fleet_default() const;
+
+  /// All per-context recommendations with sufficient evidence.
+  [[nodiscard]] std::vector<SliceRecommendation> all() const;
+
+  [[nodiscard]] const ProvisioningPolicy& policy() const { return policy_; }
+
+ private:
+  [[nodiscard]] SliceRecommendation build(const std::string& key,
+                                          const GroupStats& stats) const;
+
+  ProvisioningPolicy policy_;
+  std::map<std::string, GroupStats> contexts_;
+  GroupStats pooled_;
+};
+
+}  // namespace cgctx::telemetry

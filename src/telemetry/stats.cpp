@@ -1,0 +1,61 @@
+#include "telemetry/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cgctx::telemetry {
+
+void SampleSeries::add(double value) {
+  if (!values_.empty() && value < values_.back()) sorted_ = false;
+  values_.push_back(value);
+  sum_ += value;
+  sum_sq_ += value * value;
+}
+
+double SampleSeries::mean() const {
+  if (values_.empty()) return 0.0;
+  return sum_ / static_cast<double>(values_.size());
+}
+
+double SampleSeries::stddev() const {
+  if (values_.size() < 2) return 0.0;
+  const double m = mean();
+  const double var =
+      sum_sq_ / static_cast<double>(values_.size()) - m * m;
+  return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+void SampleSeries::ensure_sorted() const {
+  if (!sorted_) {
+    auto& mutable_values = const_cast<std::vector<double>&>(values_);
+    std::sort(mutable_values.begin(), mutable_values.end());
+    sorted_ = true;
+  }
+}
+
+double SampleSeries::min() const {
+  if (values_.empty()) return 0.0;
+  ensure_sorted();
+  return values_.front();
+}
+
+double SampleSeries::max() const {
+  if (values_.empty()) return 0.0;
+  ensure_sorted();
+  return values_.back();
+}
+
+double SampleSeries::percentile(double p) const {
+  if (p < 0.0 || p > 1.0)
+    throw std::invalid_argument("SampleSeries::percentile: p outside [0,1]");
+  if (values_.empty()) return 0.0;
+  ensure_sorted();
+  const double position = p * static_cast<double>(values_.size() - 1);
+  const auto lower = static_cast<std::size_t>(position);
+  const double frac = position - static_cast<double>(lower);
+  if (lower + 1 >= values_.size()) return values_.back();
+  return values_[lower] * (1.0 - frac) + values_[lower + 1] * frac;
+}
+
+}  // namespace cgctx::telemetry

@@ -1,0 +1,37 @@
+// Small summary-statistics helpers used by the fleet aggregation layer.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace cgctx::telemetry {
+
+/// Accumulates samples and answers mean/percentile queries. Stores the
+/// samples (fleet scales here are ~1e5 sessions, trivially held).
+class SampleSeries {
+ public:
+  void add(double value);
+
+  [[nodiscard]] std::size_t count() const { return values_.size(); }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  /// p in [0,1]; linear interpolation between order statistics.
+  [[nodiscard]] double percentile(double p) const;
+
+  /// Raw samples in insertion-or-sorted order (order unspecified); used
+  /// for merging series.
+  [[nodiscard]] const std::vector<double>& values() const { return values_; }
+
+ private:
+  /// Sorts the stored values on demand, caching sortedness.
+  void ensure_sorted() const;
+
+  std::vector<double> values_;
+  mutable bool sorted_ = true;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+};
+
+}  // namespace cgctx::telemetry

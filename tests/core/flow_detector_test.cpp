@@ -1,0 +1,165 @@
+#include "core/flow_detector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/cross_traffic.hpp"
+#include "sim/session.hpp"
+
+namespace cgctx::core {
+namespace {
+
+const net::Ipv4Addr kClient = net::Ipv4Addr::from_octets(10, 8, 8, 8);
+
+/// Runs all packets through a flow table and returns the detector's first
+/// positive verdict, if any.
+std::optional<DetectionResult> detect_over(
+    const std::vector<net::PacketRecord>& packets) {
+  net::FlowTable table;
+  const CloudGamingFlowDetector detector;
+  for (const auto& pkt : packets) {
+    const auto& flow = table.add(pkt);
+    if (auto result = detector.detect(flow)) return result;
+  }
+  return std::nullopt;
+}
+
+TEST(FlowDetector, DetectsGeforceNowSession) {
+  const sim::SessionGenerator gen;
+  sim::SessionSpec spec;
+  spec.title = sim::GameTitle::kFortnite;
+  spec.gameplay_seconds = 5;
+  spec.seed = 1;
+  const auto session = gen.generate(spec);
+  const auto result = detect_over(session.packets);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->platform, Platform::kGeforceNow);
+  EXPECT_EQ(result->flow, session.tuple.canonical());
+}
+
+TEST(FlowDetector, DetectsEveryPopularTitleQuickly) {
+  const sim::SessionGenerator gen;
+  for (std::size_t t = 0; t < sim::kNumPopularTitles; ++t) {
+    sim::SessionSpec spec;
+    spec.title = static_cast<sim::GameTitle>(t);
+    spec.gameplay_seconds = 2;
+    spec.seed = 100 + t;
+    const auto session = gen.generate(spec);
+    // Feed only the first five seconds: detection must be early.
+    std::vector<net::PacketRecord> head;
+    for (const auto& pkt : session.packets) {
+      if (pkt.timestamp > net::duration_from_seconds(5.0)) break;
+      head.push_back(pkt);
+    }
+    EXPECT_TRUE(detect_over(head).has_value()) << "title " << t;
+  }
+}
+
+TEST(FlowDetector, RejectsVoip) {
+  ml::Rng rng(2);
+  EXPECT_FALSE(detect_over(sim::voip_flow(kClient, 30.0, rng)).has_value());
+}
+
+TEST(FlowDetector, RejectsWebBrowsing) {
+  ml::Rng rng(3);
+  EXPECT_FALSE(
+      detect_over(sim::web_browsing_flow(kClient, 30.0, rng)).has_value());
+}
+
+TEST(FlowDetector, RejectsVideoStreaming) {
+  ml::Rng rng(4);
+  EXPECT_FALSE(
+      detect_over(sim::video_streaming_flow(kClient, 30.0, rng)).has_value());
+}
+
+TEST(FlowDetector, FindsGamingFlowInMixedTraffic) {
+  const sim::SessionGenerator gen;
+  sim::SessionSpec spec;
+  spec.title = sim::GameTitle::kCsgo;
+  spec.gameplay_seconds = 5;
+  spec.seed = 5;
+  const auto session = gen.generate(spec);
+  ml::Rng rng(6);
+  std::vector<net::PacketRecord> mixed = session.packets;
+  for (const auto& pkt : sim::voip_flow(session.client_ip, 30.0, rng))
+    mixed.push_back(pkt);
+  for (const auto& pkt : sim::web_browsing_flow(session.client_ip, 30.0, rng))
+    mixed.push_back(pkt);
+  std::sort(mixed.begin(), mixed.end(),
+            [](const auto& a, const auto& b) { return a.timestamp < b.timestamp; });
+  const auto result = detect_over(mixed);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->flow, session.tuple.canonical());
+}
+
+TEST(FlowDetector, RequiresObservationFloor) {
+  const sim::SessionGenerator gen;
+  sim::SessionSpec spec;
+  spec.title = sim::GameTitle::kDota2;
+  spec.gameplay_seconds = 2;
+  spec.seed = 7;
+  const auto session = gen.generate(spec);
+  net::FlowTable table;
+  const CloudGamingFlowDetector detector;
+  // The first 50 packets are below the floor.
+  for (std::size_t i = 0; i < 50; ++i) {
+    const auto& flow = table.add(session.packets[i]);
+    EXPECT_FALSE(detector.detect(flow).has_value()) << "packet " << i;
+  }
+}
+
+TEST(FlowDetector, PortRangesMapToPlatforms) {
+  const sim::SessionGenerator gen;
+  sim::SessionSpec spec;
+  spec.title = sim::GameTitle::kOverwatch2;
+  spec.gameplay_seconds = 3;
+  spec.seed = 8;
+  auto session = gen.generate(spec);
+  // Rewrite the server port to each platform's range and re-detect.
+  const struct {
+    std::uint16_t port;
+    Platform platform;
+  } kCases[] = {{49004, Platform::kGeforceNow},
+                {9002, Platform::kXboxCloud},
+                {44353, Platform::kAmazonLuna},
+                {9295, Platform::kPsCloudStreaming}};
+  for (const auto& test_case : kCases) {
+    std::vector<net::PacketRecord> rewritten = session.packets;
+    for (auto& pkt : rewritten) {
+      if (pkt.direction == net::Direction::kUpstream) {
+        pkt.tuple.dst_port = test_case.port;
+      } else {
+        pkt.tuple.src_port = test_case.port;
+      }
+    }
+    const auto result = detect_over(rewritten);
+    ASSERT_TRUE(result.has_value()) << test_case.port;
+    EXPECT_EQ(result->platform, test_case.platform);
+  }
+}
+
+TEST(FlowDetector, UnknownPortIsRejected) {
+  const sim::SessionGenerator gen;
+  sim::SessionSpec spec;
+  spec.title = sim::GameTitle::kFortnite;
+  spec.gameplay_seconds = 3;
+  spec.seed = 9;
+  auto session = gen.generate(spec);
+  for (auto& pkt : session.packets) {
+    if (pkt.direction == net::Direction::kUpstream) {
+      pkt.tuple.dst_port = 12345;
+    } else {
+      pkt.tuple.src_port = 12345;
+    }
+  }
+  EXPECT_FALSE(detect_over(session.packets).has_value());
+}
+
+TEST(FlowDetector, PlatformNames) {
+  EXPECT_STREQ(to_string(Platform::kGeforceNow), "GeForce NOW");
+  EXPECT_STREQ(to_string(Platform::kXboxCloud), "Xbox Cloud Gaming");
+  EXPECT_STREQ(to_string(Platform::kAmazonLuna), "Amazon Luna");
+  EXPECT_STREQ(to_string(Platform::kPsCloudStreaming), "PS5 Cloud Streaming");
+}
+
+}  // namespace
+}  // namespace cgctx::core

@@ -1,0 +1,191 @@
+#include "core/launch_attributes.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/session.hpp"
+
+namespace cgctx::core {
+namespace {
+
+net::PacketRecord down_packet(double t_seconds, std::uint32_t payload) {
+  net::PacketRecord pkt;
+  pkt.timestamp = net::duration_from_seconds(t_seconds);
+  pkt.direction = net::Direction::kDownstream;
+  pkt.payload_size = payload;
+  return pkt;
+}
+
+TEST(LaunchAttributes, ExactlyFiftyOneNamedAttributes) {
+  const auto names = launch_attribute_names();
+  EXPECT_EQ(names.size(), kNumLaunchAttributes);
+  EXPECT_EQ(kNumLaunchAttributes, 51u);
+  EXPECT_EQ(names[0], "full_ct_sum");  // paper Fig. 7 example attribute
+  EXPECT_EQ(names[17], "steady_ct_sum");
+  EXPECT_EQ(names[34], "sparse_ct_sum");
+  // All names unique.
+  std::set<std::string> unique(names.begin(), names.end());
+  EXPECT_EQ(unique.size(), names.size());
+}
+
+TEST(LaunchAttributes, EmptyWindowIsAllZeros) {
+  const auto row = launch_attributes({}, 0);
+  ASSERT_EQ(row.size(), kNumLaunchAttributes);
+  for (double v : row) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(LaunchAttributes, FullCountSumMatchesInput) {
+  std::vector<net::PacketRecord> packets;
+  for (int i = 0; i < 20; ++i)
+    packets.push_back(down_packet(0.1 + i * 0.2, 1432));
+  const auto row = launch_attributes(packets, 0);
+  EXPECT_DOUBLE_EQ(row[0], 20.0);  // full_ct_sum: all 20 within 5 s
+}
+
+TEST(LaunchAttributes, SizeStatsReflectPayloads) {
+  std::vector<net::PacketRecord> packets;
+  // A steady band at exactly 600 bytes.
+  for (int i = 0; i < 10; ++i) packets.push_back(down_packet(0.1 * i, 600));
+  const auto row = launch_attributes(packets, 0);
+  const auto names = launch_attribute_names();
+  const auto idx = [&](const std::string& name) {
+    return static_cast<std::size_t>(
+        std::find(names.begin(), names.end(), name) - names.begin());
+  };
+  EXPECT_DOUBLE_EQ(row[idx("steady_sz_mean")], 600.0);
+  EXPECT_DOUBLE_EQ(row[idx("steady_sz_std")], 0.0);
+  EXPECT_DOUBLE_EQ(row[idx("steady_sz_min")], 600.0);
+  EXPECT_DOUBLE_EQ(row[idx("steady_sz_max")], 600.0);
+  EXPECT_DOUBLE_EQ(row[idx("steady_sz_median")], 600.0);
+  EXPECT_DOUBLE_EQ(row[idx("steady_sz_sum")], 6000.0);
+}
+
+TEST(LaunchAttributes, InterArrivalInMilliseconds) {
+  std::vector<net::PacketRecord> packets;
+  for (int i = 0; i < 5; ++i) packets.push_back(down_packet(0.1 * i, 1432));
+  const auto row = launch_attributes(packets, 0);
+  const auto names = launch_attribute_names();
+  const auto idx = [&](const std::string& name) {
+    return static_cast<std::size_t>(
+        std::find(names.begin(), names.end(), name) - names.begin());
+  };
+  EXPECT_NEAR(row[idx("full_iat_mean")], 100.0, 1e-6);
+  EXPECT_NEAR(row[idx("full_iat_std")], 0.0, 1e-6);
+  EXPECT_NEAR(row[idx("full_iat_burst")], 0.0, 1e-6);
+}
+
+TEST(LaunchAttributes, WindowParameterLimitsScope) {
+  std::vector<net::PacketRecord> packets = {down_packet(0.5, 1432),
+                                            down_packet(7.0, 1432)};
+  LaunchAttributeParams params;
+  params.window_seconds = 5.0;
+  const auto row = launch_attributes(packets, 0, params);
+  EXPECT_DOUBLE_EQ(row[0], 1.0);  // only the first packet is in-window
+}
+
+TEST(LaunchAttributes, FlowBeginShiftsTheWindow) {
+  std::vector<net::PacketRecord> packets = {down_packet(10.5, 1432)};
+  const auto row =
+      launch_attributes(packets, net::duration_from_seconds(10.0));
+  EXPECT_DOUBLE_EQ(row[0], 1.0);
+}
+
+TEST(LaunchAttributes, DifferentTitlesYieldDifferentVectors) {
+  const sim::SessionGenerator gen;
+  sim::SessionSpec a;
+  a.title = sim::GameTitle::kGenshinImpact;
+  a.gameplay_seconds = 5;
+  a.seed = 1;
+  sim::SessionSpec b = a;
+  b.title = sim::GameTitle::kHearthstone;
+  const auto sa = gen.generate(a);
+  const auto sb = gen.generate(b);
+  const auto ra = launch_attributes(sa.packets, sa.launch_begin);
+  const auto rb = launch_attributes(sb.packets, sb.launch_begin);
+  double distance = 0.0;
+  for (std::size_t i = 0; i < ra.size(); ++i)
+    distance += std::abs(ra[i] - rb[i]);
+  EXPECT_GT(distance, 100.0);
+}
+
+TEST(LaunchAttributes, SameTitleDifferentConfigsStayClose) {
+  // The paper's key invariance: same title, different device/settings ->
+  // similar launch profile. Compare relative distance against a
+  // different-title pair.
+  const sim::SessionGenerator gen;
+  sim::SessionSpec base;
+  base.title = sim::GameTitle::kGenshinImpact;
+  base.gameplay_seconds = 5;
+  base.seed = 11;
+  base.config.resolution = sim::Resolution::kUhd;
+  sim::SessionSpec other_config = base;
+  other_config.seed = 12;
+  other_config.config.resolution = sim::Resolution::kSd;
+  other_config.config.device = sim::DeviceClass::kMobile;
+  sim::SessionSpec other_title = base;
+  other_title.seed = 13;
+  other_title.title = sim::GameTitle::kHearthstone;
+
+  const auto r_base = launch_attributes(gen.generate(base).packets, 0);
+  const auto r_config = launch_attributes(gen.generate(other_config).packets, 0);
+  const auto r_title = launch_attributes(gen.generate(other_title).packets, 0);
+
+  auto l1 = [](const ml::FeatureRow& x, const ml::FeatureRow& y) {
+    double d = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) d += std::abs(x[i] - y[i]);
+    return d;
+  };
+  EXPECT_LT(l1(r_base, r_config), l1(r_base, r_title));
+}
+
+TEST(FlowVolumetricAttributes, TwoPerSlot) {
+  LaunchAttributeParams params;
+  params.window_seconds = 5.0;
+  params.slot_seconds = 1.0;
+  EXPECT_EQ(flow_volumetric_attribute_names(params).size(), 10u);
+  std::vector<net::PacketRecord> packets = {down_packet(0.5, 1000),
+                                            down_packet(0.6, 500),
+                                            down_packet(3.2, 700)};
+  const auto row = flow_volumetric_attributes(packets, 0, params);
+  ASSERT_EQ(row.size(), 10u);
+  EXPECT_DOUBLE_EQ(row[0], 2.0);     // slot 0 packet count
+  EXPECT_DOUBLE_EQ(row[1], 1500.0);  // slot 0 bytes
+  EXPECT_DOUBLE_EQ(row[6], 1.0);     // slot 3 packet count
+  EXPECT_DOUBLE_EQ(row[7], 700.0);
+}
+
+TEST(FlowVolumetricAttributes, UpstreamIgnored) {
+  net::PacketRecord up = down_packet(0.5, 100);
+  up.direction = net::Direction::kUpstream;
+  const auto row = flow_volumetric_attributes({&up, 1}, 0);
+  for (double v : row) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+/// Property sweep over slot sizes: attribute extraction is well-formed
+/// for the paper's Fig. 8 slot options.
+class SlotSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SlotSweep, AttributesWellFormed) {
+  const sim::SessionGenerator gen;
+  sim::SessionSpec spec;
+  spec.title = sim::GameTitle::kFortnite;
+  spec.gameplay_seconds = 5;
+  spec.seed = 21;
+  const auto session = gen.generate(spec);
+  LaunchAttributeParams params;
+  params.slot_seconds = GetParam();
+  params.window_seconds = 5.0;
+  const auto row =
+      launch_attributes(session.packets, session.launch_begin, params);
+  ASSERT_EQ(row.size(), kNumLaunchAttributes);
+  for (double v : row) {
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_GE(v, 0.0);
+  }
+  EXPECT_GT(row[0], 0.0);  // some full packets observed
+}
+
+INSTANTIATE_TEST_SUITE_P(Slots, SlotSweep,
+                         ::testing::Values(0.1, 0.5, 1.0, 2.0));
+
+}  // namespace
+}  // namespace cgctx::core

@@ -1,0 +1,36 @@
+#include "core/model_suite.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cgctx::core {
+namespace {
+
+TEST(ModelSuite, TrainsAllThreeModelsWithReportedAccuracy) {
+  TrainingBudget budget;
+  budget.lab_scale = 0.08;
+  budget.gameplay_seconds = 120.0;
+  budget.augment_copies = 1;
+  double title_acc = 0.0;
+  double stage_acc = 0.0;
+  double pattern_acc = 0.0;
+  const ModelSuite suite =
+      train_model_suite(budget, &title_acc, &stage_acc, &pattern_acc);
+  EXPECT_GT(title_acc, 0.6);  // tiny 0.08-scale budget
+  EXPECT_GT(stage_acc, 0.85);
+  EXPECT_GT(pattern_acc, 0.6);
+  // The models are usable.
+  const auto models = suite.models();
+  EXPECT_NE(models.title, nullptr);
+  EXPECT_NE(models.stage, nullptr);
+  EXPECT_NE(models.pattern, nullptr);
+}
+
+TEST(ModelSuite, DefaultPipelineParamsCarryDemandHints) {
+  const PipelineParams params = default_pipeline_params();
+  EXPECT_EQ(params.title_demand_mbps.size(), sim::kNumPopularTitles);
+  EXPECT_NEAR(params.title_demand_mbps.at("Hearthstone"), 20.0, 1e-9);
+  EXPECT_NEAR(params.title_demand_mbps.at("Fortnite"), 68.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace cgctx::core

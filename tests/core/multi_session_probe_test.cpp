@@ -1,0 +1,133 @@
+#include "core/multi_session_probe.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/model_suite.hpp"
+#include "sim/cross_traffic.hpp"
+
+namespace cgctx::core {
+namespace {
+
+const ModelSuite& suite() {
+  static const ModelSuite models = [] {
+    TrainingBudget budget;
+    budget.lab_scale = 0.12;
+    budget.gameplay_seconds = 150.0;
+    budget.augment_copies = 1;
+    return train_model_suite(budget);
+  }();
+  return models;
+}
+
+sim::LabeledSession make_session(sim::GameTitle title, double start_s,
+                                 std::uint64_t seed) {
+  const sim::SessionGenerator gen;
+  sim::SessionSpec spec;
+  spec.title = title;
+  spec.gameplay_seconds = 40;
+  spec.seed = seed;
+  spec.start_time = net::duration_from_seconds(start_s);
+  return gen.generate(spec);
+}
+
+std::vector<net::PacketRecord> interleave(
+    std::initializer_list<const std::vector<net::PacketRecord>*> streams) {
+  std::vector<net::PacketRecord> wire;
+  for (const auto* stream : streams)
+    wire.insert(wire.end(), stream->begin(), stream->end());
+  std::sort(wire.begin(), wire.end(), [](const auto& a, const auto& b) {
+    return a.timestamp < b.timestamp;
+  });
+  return wire;
+}
+
+TEST(MultiSessionProbe, SeparatesTwoConcurrentSubscribers) {
+  const auto a = make_session(sim::GameTitle::kGenshinImpact, 0.0, 51);
+  const auto b = make_session(sim::GameTitle::kFortnite, 12.0, 52);
+  const auto wire = interleave({&a.packets, &b.packets});
+
+  std::vector<SessionReport> reports;
+  MultiSessionProbe probe(
+      suite().models(), MultiSessionProbeParams{default_pipeline_params()},
+      [&](const SessionReport& r) { reports.push_back(r); });
+  for (const auto& pkt : wire) probe.push(pkt);
+  EXPECT_EQ(probe.live_sessions(), 2u);
+  probe.flush();
+  EXPECT_EQ(probe.live_sessions(), 0u);
+  ASSERT_EQ(reports.size(), 2u);
+
+  // Each report maps to exactly one of the two sessions by flow tuple.
+  std::set<net::FiveTuple> flows;
+  for (const auto& report : reports) {
+    ASSERT_TRUE(report.detection.has_value());
+    flows.insert(report.detection->flow);
+    EXPECT_GT(report.slots.size(), 40u);
+  }
+  EXPECT_TRUE(flows.count(a.tuple.canonical()));
+  EXPECT_TRUE(flows.count(b.tuple.canonical()));
+}
+
+TEST(MultiSessionProbe, IdleTimeoutRetiresFinishedSessions) {
+  // Session A ends long before B starts; B's traffic should trigger A's
+  // retirement via the idle sweep.
+  const auto a = make_session(sim::GameTitle::kCsgo, 0.0, 53);
+  const auto b = make_session(sim::GameTitle::kDota2, 200.0, 54);
+  const auto wire = interleave({&a.packets, &b.packets});
+
+  std::size_t live_when_b_active = 0;
+  std::vector<SessionReport> reports;
+  MultiSessionProbe probe(
+      suite().models(), MultiSessionProbeParams{default_pipeline_params()},
+      [&](const SessionReport& r) { reports.push_back(r); });
+  for (const auto& pkt : wire) {
+    probe.push(pkt);
+    if (pkt.timestamp > net::duration_from_seconds(260.0))
+      live_when_b_active = probe.live_sessions();
+  }
+  // A was retired mid-stream once it idled out.
+  EXPECT_EQ(live_when_b_active, 1u);
+  EXPECT_GE(reports.size(), 1u);
+  probe.flush();
+  EXPECT_EQ(reports.size(), 2u);
+}
+
+TEST(MultiSessionProbe, IgnoresPureCrossTraffic) {
+  ml::Rng rng(55);
+  MultiSessionProbe probe(
+      suite().models(), MultiSessionProbeParams{default_pipeline_params()},
+      {});
+  for (const auto& pkt : sim::voip_flow(
+           net::Ipv4Addr::from_octets(10, 7, 7, 7), 40.0, rng))
+    probe.push(pkt);
+  EXPECT_EQ(probe.live_sessions(), 0u);
+  probe.flush();
+  EXPECT_EQ(probe.reports_emitted(), 0u);
+}
+
+TEST(MultiSessionProbe, ReportsMatchSingleSessionAnalysis) {
+  const auto session = make_session(sim::GameTitle::kOverwatch2, 0.0, 56);
+  SessionReport probe_report;
+  MultiSessionProbe probe(
+      suite().models(), MultiSessionProbeParams{default_pipeline_params()},
+      [&](const SessionReport& r) { probe_report = r; });
+  for (const auto& pkt : session.packets) probe.push(pkt);
+  probe.flush();
+
+  StreamingAnalyzer single(suite().models(), default_pipeline_params(), {});
+  for (const auto& pkt : session.packets) single.push(pkt);
+  const SessionReport single_report = single.finish();
+
+  EXPECT_EQ(probe_report.title.label, single_report.title.label);
+  EXPECT_EQ(probe_report.slots.size(), single_report.slots.size());
+}
+
+TEST(MultiSessionProbe, RequiresModels) {
+  EXPECT_THROW(
+      MultiSessionProbe(PipelineModels{}, MultiSessionProbeParams{}, {}),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cgctx::core

@@ -1,0 +1,154 @@
+#include "core/packet_groups.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cgctx::core {
+namespace {
+
+TEST(PacketGroups, FullPacketsByMaxPayload) {
+  const std::uint32_t sizes[] = {1432, 500, 1432, 1433};
+  const auto labels = label_packet_groups(sizes);
+  EXPECT_EQ(labels[0], PacketGroup::kFull);
+  EXPECT_NE(labels[1], PacketGroup::kFull);
+  EXPECT_EQ(labels[2], PacketGroup::kFull);
+  EXPECT_EQ(labels[3], PacketGroup::kFull);  // >= threshold counts as full
+}
+
+TEST(PacketGroups, NarrowBandIsSteady) {
+  // Payloads within +-10% of one another.
+  const std::uint32_t sizes[] = {500, 510, 495, 505, 498, 502};
+  const auto labels = label_packet_groups(sizes);
+  for (const PacketGroup g : labels) EXPECT_EQ(g, PacketGroup::kSteady);
+}
+
+TEST(PacketGroups, RandomSpreadIsSparse) {
+  const std::uint32_t sizes[] = {100, 900, 300, 1200, 60, 700};
+  const auto labels = label_packet_groups(sizes);
+  for (const PacketGroup g : labels) EXPECT_EQ(g, PacketGroup::kSparse);
+}
+
+TEST(PacketGroups, MixedStreamSplitsCorrectly) {
+  // Band at ~800 with two outliers interleaved.
+  const std::uint32_t sizes[] = {800, 1432, 810, 790, 200, 805, 795, 1432, 798};
+  const auto labels = label_packet_groups(sizes);
+  EXPECT_EQ(labels[0], PacketGroup::kSteady);
+  EXPECT_EQ(labels[1], PacketGroup::kFull);
+  EXPECT_EQ(labels[2], PacketGroup::kSteady);
+  EXPECT_EQ(labels[4], PacketGroup::kSparse);  // 200 is far from the band
+  EXPECT_EQ(labels[8], PacketGroup::kSteady);
+}
+
+TEST(PacketGroups, VParameterControlsTolerance) {
+  // Two interleaved bands ~18% apart: steady at V=20%, sparse at V=1%.
+  const std::uint32_t sizes[] = {500, 590, 500, 590, 500, 590};
+  GroupLabelerParams tight;
+  tight.v_fraction = 0.01;
+  GroupLabelerParams loose;
+  loose.v_fraction = 0.20;
+  for (const PacketGroup g : label_packet_groups(sizes, tight))
+    EXPECT_EQ(g, PacketGroup::kSparse);
+  for (const PacketGroup g : label_packet_groups(sizes, loose))
+    EXPECT_EQ(g, PacketGroup::kSteady);
+}
+
+TEST(PacketGroups, SingleNonFullPacketIsSparse) {
+  const std::uint32_t sizes[] = {700};
+  const auto labels = label_packet_groups(sizes);
+  EXPECT_EQ(labels[0], PacketGroup::kSparse);
+}
+
+TEST(PacketGroups, EmptyInputYieldsEmptyOutput) {
+  EXPECT_TRUE(label_packet_groups({}).empty());
+}
+
+TEST(PacketGroups, AllFullStreamHasNoNeighborCrash) {
+  const std::uint32_t sizes[] = {1432, 1432, 1432};
+  const auto labels = label_packet_groups(sizes);
+  for (const PacketGroup g : labels) EXPECT_EQ(g, PacketGroup::kFull);
+}
+
+TEST(PacketGroups, NeighborWindowLimitsVoting) {
+  // A lone band member surrounded by distant sizes beyond the window.
+  const std::uint32_t sizes[] = {100, 1000, 101, 99, 1000, 100};
+  GroupLabelerParams params;
+  params.neighbor_window = 1;
+  const auto labels = label_packet_groups(sizes, params);
+  // With window 1, each packet only sees immediate neighbors; the 1000s
+  // see dissimilar neighbors on both sides -> sparse.
+  EXPECT_EQ(labels[1], PacketGroup::kSparse);
+  EXPECT_EQ(labels[4], PacketGroup::kSparse);
+}
+
+net::PacketRecord down_packet(double t_seconds, std::uint32_t payload) {
+  net::PacketRecord pkt;
+  pkt.timestamp = net::duration_from_seconds(t_seconds);
+  pkt.direction = net::Direction::kDownstream;
+  pkt.payload_size = payload;
+  return pkt;
+}
+
+TEST(LabelWindow, SlicesPacketsIntoSlots) {
+  std::vector<net::PacketRecord> packets = {
+      down_packet(0.1, 1432), down_packet(0.5, 800), down_packet(1.2, 900),
+      down_packet(2.7, 1432), down_packet(5.5, 700)};  // last is outside
+  const auto slots =
+      label_window(packets, 0, net::kNanosPerSecond, 5);
+  ASSERT_EQ(slots.size(), 5u);
+  EXPECT_EQ(slots[0].size(), 2u);
+  EXPECT_EQ(slots[1].size(), 1u);
+  EXPECT_EQ(slots[2].size(), 1u);
+  EXPECT_TRUE(slots[3].empty());
+  EXPECT_TRUE(slots[4].empty());
+  EXPECT_EQ(slots[0][0].group, PacketGroup::kFull);
+}
+
+TEST(LabelWindow, IgnoresUpstreamPackets) {
+  net::PacketRecord up = down_packet(0.5, 100);
+  up.direction = net::Direction::kUpstream;
+  const auto slots = label_window({&up, 1}, 0, net::kNanosPerSecond, 2);
+  EXPECT_TRUE(slots[0].empty());
+}
+
+TEST(LabelWindow, IgnoresPacketsBeforeWindowBegin) {
+  std::vector<net::PacketRecord> packets = {down_packet(0.5, 1432)};
+  const auto slots = label_window(packets, net::duration_from_seconds(1.0),
+                                  net::kNanosPerSecond, 2);
+  EXPECT_TRUE(slots[0].empty());
+}
+
+TEST(LabelWindow, SubSecondSlotsWork) {
+  std::vector<net::PacketRecord> packets = {down_packet(0.05, 1432),
+                                            down_packet(0.15, 1432),
+                                            down_packet(0.25, 1432)};
+  const auto slots =
+      label_window(packets, 0, net::duration_from_millis(100.0), 3);
+  EXPECT_EQ(slots[0].size(), 1u);
+  EXPECT_EQ(slots[1].size(), 1u);
+  EXPECT_EQ(slots[2].size(), 1u);
+}
+
+TEST(PacketGroups, GroupNames) {
+  EXPECT_STREQ(to_string(PacketGroup::kFull), "full");
+  EXPECT_STREQ(to_string(PacketGroup::kSteady), "steady");
+  EXPECT_STREQ(to_string(PacketGroup::kSparse), "sparse");
+}
+
+/// Property sweep over V: a tight band is steady for all V >= 5%, and the
+/// labeling is monotone (larger V never turns steady into sparse).
+class VSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(VSweep, TightBandSteadyAboveFivePercent) {
+  const std::uint32_t sizes[] = {1000, 1020, 990, 1010, 1005, 985};
+  GroupLabelerParams params;
+  params.v_fraction = GetParam();
+  const auto labels = label_packet_groups(sizes, params);
+  if (GetParam() >= 0.05) {
+    for (const PacketGroup g : labels) EXPECT_EQ(g, PacketGroup::kSteady);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(VValues, VSweep,
+                         ::testing::Values(0.01, 0.05, 0.10, 0.15, 0.20));
+
+}  // namespace
+}  // namespace cgctx::core

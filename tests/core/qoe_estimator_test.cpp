@@ -1,0 +1,164 @@
+#include "core/qoe_estimator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/session.hpp"
+
+namespace cgctx::core {
+namespace {
+
+net::PacketRecord rtp_packet(double t_seconds, std::uint16_t seq, bool marker,
+                             std::uint32_t payload = 1000) {
+  net::PacketRecord pkt;
+  pkt.timestamp = net::duration_from_seconds(t_seconds);
+  pkt.direction = net::Direction::kDownstream;
+  pkt.payload_size = payload;
+  pkt.rtp = net::RtpHeader{.payload_type = 98, .marker = marker,
+                           .sequence = seq, .rtp_timestamp = 0, .ssrc = 1};
+  return pkt;
+}
+
+TEST(QoeEstimator, CountsFramesFromMarkers) {
+  QoeEstimator estimator(60.0);
+  std::uint16_t seq = 0;
+  // 30 frames of 3 packets each within one second.
+  for (int f = 0; f < 30; ++f) {
+    const double t = f / 30.0;
+    estimator.add(rtp_packet(t, seq++, false));
+    estimator.add(rtp_packet(t + 0.001, seq++, false));
+    estimator.add(rtp_packet(t + 0.002, seq++, true));
+  }
+  const auto slot = estimator.end_slot();
+  EXPECT_DOUBLE_EQ(slot.frame_rate, 30.0);
+  EXPECT_EQ(slot.video_packets, 90u);
+  EXPECT_DOUBLE_EQ(slot.bytes_per_frame, 3000.0);
+  EXPECT_DOUBLE_EQ(slot.loss_rate, 0.0);
+}
+
+TEST(QoeEstimator, DetectsSequenceGapsAsLoss) {
+  QoeEstimator estimator;
+  estimator.add(rtp_packet(0.00, 0, true));
+  estimator.add(rtp_packet(0.02, 1, true));
+  estimator.add(rtp_packet(0.04, 4, true));  // 2 and 3 lost
+  const auto slot = estimator.end_slot();
+  // Expected 1 + 1 + 3 = 5 sequence steps, 3 received -> 2/5 lost.
+  EXPECT_NEAR(slot.loss_rate, 2.0 / 5.0, 1e-12);
+}
+
+TEST(QoeEstimator, SequenceWraparoundIsNotLoss) {
+  QoeEstimator estimator;
+  estimator.add(rtp_packet(0.00, 65534, true));
+  estimator.add(rtp_packet(0.02, 65535, true));
+  estimator.add(rtp_packet(0.04, 0, true));
+  estimator.add(rtp_packet(0.06, 1, true));
+  EXPECT_DOUBLE_EQ(estimator.end_slot().loss_rate, 0.0);
+}
+
+TEST(QoeEstimator, ReorderedPacketIsNotLoss) {
+  QoeEstimator estimator;
+  estimator.add(rtp_packet(0.00, 10, true));
+  estimator.add(rtp_packet(0.02, 12, true));
+  estimator.add(rtp_packet(0.03, 11, false));  // late arrival
+  estimator.add(rtp_packet(0.04, 13, true));
+  // Extended-highest tracking (RFC 3550): 4 expected (10..13), 4
+  // received, no loss despite the out-of-order arrival.
+  EXPECT_DOUBLE_EQ(estimator.end_slot().loss_rate, 0.0);
+}
+
+TEST(QoeEstimator, FrameLagMeasuresExcessGap) {
+  QoeEstimator estimator(50.0);  // nominal period 20 ms
+  estimator.add(rtp_packet(0.000, 0, true));
+  estimator.add(rtp_packet(0.020, 1, true));  // on time
+  estimator.add(rtp_packet(0.060, 2, true));  // 40 ms gap -> 20 ms lag
+  const auto slot = estimator.end_slot();
+  EXPECT_NEAR(slot.frame_lag_ms, (0.0 + 20.0) / 2.0, 1e-9);
+}
+
+TEST(QoeEstimator, IgnoresUpstreamAndNonRtp) {
+  QoeEstimator estimator;
+  net::PacketRecord up = rtp_packet(0.0, 0, true);
+  up.direction = net::Direction::kUpstream;
+  estimator.add(up);
+  net::PacketRecord no_rtp = rtp_packet(0.1, 1, true);
+  no_rtp.rtp.reset();
+  estimator.add(no_rtp);
+  const auto slot = estimator.end_slot();
+  EXPECT_EQ(slot.video_packets, 0u);
+  EXPECT_DOUBLE_EQ(slot.frame_rate, 0.0);
+}
+
+TEST(QoeEstimator, EmptySlotIsZeros) {
+  QoeEstimator estimator;
+  const auto slot = estimator.end_slot();
+  EXPECT_DOUBLE_EQ(slot.frame_rate, 0.0);
+  EXPECT_DOUBLE_EQ(slot.loss_rate, 0.0);
+  EXPECT_DOUBLE_EQ(slot.bytes_per_frame, 0.0);
+}
+
+TEST(QoeEstimator, ContinuityAcrossSlots) {
+  QoeEstimator estimator;
+  estimator.add(rtp_packet(0.5, 0, true));
+  estimator.end_slot();
+  // The gap from seq 0 to seq 3 spans the slot boundary; the two lost
+  // packets are charged to the second slot.
+  estimator.add(rtp_packet(1.5, 3, true));
+  EXPECT_NEAR(estimator.end_slot().loss_rate, 2.0 / 3.0, 1e-12);
+}
+
+TEST(QoeEstimator, SetNominalFpsIgnoresNonPositive) {
+  QoeEstimator estimator(60.0);
+  estimator.set_nominal_fps(-5.0);
+  EXPECT_DOUBLE_EQ(estimator.nominal_fps(), 60.0);
+  estimator.set_nominal_fps(120.0);
+  EXPECT_DOUBLE_EQ(estimator.nominal_fps(), 120.0);
+}
+
+TEST(EstimateSlotQoe, BatchMatchesGroundTruthOnSyntheticSession) {
+  // Render a packet-fidelity session and compare estimated frame rate
+  // against the simulator's per-slot ground truth.
+  const sim::SessionGenerator gen;
+  sim::SessionSpec spec;
+  spec.title = sim::GameTitle::kFortnite;
+  spec.gameplay_seconds = 60;
+  spec.seed = 77;
+  spec.config.fps = 60;
+  const auto session = gen.generate(spec);
+  const auto slot_count = session.slots.size();
+  const auto estimated =
+      estimate_slot_qoe(session.packets, session.launch_begin,
+                        net::kNanosPerSecond, slot_count, spec.config.fps);
+  ASSERT_EQ(estimated.size(), slot_count);
+  // Compare gameplay slots (launch frames are not rendered as packets).
+  double err = 0.0;
+  std::size_t n = 0;
+  for (std::size_t s = 0; s < slot_count; ++s) {
+    const net::Timestamp mid =
+        session.launch_begin + net::duration_from_seconds(s + 0.5);
+    if (session.in_launch(mid) || mid >= session.end) continue;
+    err += std::abs(estimated[s].frame_rate - session.slots[s].frames);
+    ++n;
+  }
+  ASSERT_GT(n, 40u);
+  EXPECT_LT(err / static_cast<double>(n), 6.0);  // within a few fps
+}
+
+TEST(EstimateSlotQoe, LossySessionShowsLoss) {
+  const sim::SessionGenerator gen;
+  sim::SessionSpec spec;
+  spec.title = sim::GameTitle::kCsgo;
+  spec.gameplay_seconds = 30;
+  spec.seed = 78;
+  spec.network = sim::NetworkConditions::congested();  // 3% loss
+  const auto session = gen.generate(spec);
+  const auto estimated =
+      estimate_slot_qoe(session.packets, session.launch_begin,
+                        net::kNanosPerSecond, session.slots.size());
+  double mean_loss = 0.0;
+  for (const auto& slot : estimated) mean_loss += slot.loss_rate;
+  mean_loss /= static_cast<double>(estimated.size());
+  EXPECT_GT(mean_loss, 0.015);
+  EXPECT_LT(mean_loss, 0.06);
+}
+
+}  // namespace
+}  // namespace cgctx::core

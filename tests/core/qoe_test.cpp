@@ -1,0 +1,163 @@
+#include "core/qoe.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cgctx::core {
+namespace {
+
+SlotQoeMetrics healthy() {
+  return SlotQoeMetrics{.frame_rate = 60.0, .throughput_mbps = 25.0,
+                        .rtt_ms = 12.0, .loss_rate = 0.0005};
+}
+
+TEST(ObjectiveQoe, HealthySlotIsGood) {
+  EXPECT_EQ(objective_qoe(healthy()), QoeLevel::kGood);
+}
+
+TEST(ObjectiveQoe, PaperBadExamples) {
+  // §5.3: frame rate below 30 fps and/or throughput below 8 Mbps -> bad.
+  auto low_fps = healthy();
+  low_fps.frame_rate = 25.0;
+  EXPECT_EQ(objective_qoe(low_fps), QoeLevel::kBad);
+  auto low_tput = healthy();
+  low_tput.throughput_mbps = 5.0;
+  EXPECT_EQ(objective_qoe(low_tput), QoeLevel::kBad);
+}
+
+TEST(ObjectiveQoe, MidRangeIsMedium) {
+  auto mid = healthy();
+  mid.frame_rate = 40.0;  // >= 30, < 48
+  EXPECT_EQ(objective_qoe(mid), QoeLevel::kMedium);
+  auto mid_tput = healthy();
+  mid_tput.throughput_mbps = 10.0;
+  EXPECT_EQ(objective_qoe(mid_tput), QoeLevel::kMedium);
+}
+
+TEST(ObjectiveQoe, NetworkGatesApply) {
+  auto high_rtt = healthy();
+  high_rtt.rtt_ms = 90.0;
+  EXPECT_EQ(objective_qoe(high_rtt), QoeLevel::kBad);
+  auto some_rtt = healthy();
+  some_rtt.rtt_ms = 55.0;
+  EXPECT_EQ(objective_qoe(some_rtt), QoeLevel::kMedium);
+  auto lossy = healthy();
+  lossy.loss_rate = 0.05;
+  EXPECT_EQ(objective_qoe(lossy), QoeLevel::kBad);
+  auto some_loss = healthy();
+  some_loss.loss_rate = 0.01;
+  EXPECT_EQ(objective_qoe(some_loss), QoeLevel::kMedium);
+}
+
+QoeContext idle_context() {
+  return QoeContext{.expected_peak_mbps = 25.0, .expected_peak_fps = 60.0,
+                    .stage = kStageIdle};
+}
+
+TEST(EffectiveQoe, IdleStageDropsAreNotPenalized) {
+  // An idle lobby at 20 fps / 3 Mbps is objectively "bad" but effectively
+  // fine — the paper's headline correction.
+  SlotQoeMetrics idle_slot{.frame_rate = 20.0, .throughput_mbps = 3.0,
+                           .rtt_ms = 12.0, .loss_rate = 0.0005};
+  EXPECT_EQ(objective_qoe(idle_slot), QoeLevel::kBad);
+  EXPECT_EQ(effective_qoe(idle_slot, idle_context()), QoeLevel::kGood);
+}
+
+TEST(EffectiveQoe, LowDemandTitleActiveIsGood) {
+  // Hearthstone-like: demand 6 Mbps, delivering 6 Mbps at 50 fps while
+  // active. Objective says bad (tput < 8); effective says good.
+  SlotQoeMetrics slot{.frame_rate = 50.0, .throughput_mbps = 6.0,
+                      .rtt_ms = 10.0, .loss_rate = 0.0};
+  QoeContext context{.expected_peak_mbps = 6.0, .expected_peak_fps = 60.0,
+                     .stage = kStageActive};
+  EXPECT_EQ(objective_qoe(slot), QoeLevel::kBad);
+  EXPECT_EQ(effective_qoe(slot, context), QoeLevel::kGood);
+}
+
+TEST(EffectiveQoe, GenuineDegradationStaysBad) {
+  // Active stage of a high-demand title starved to 3 Mbps / 15 fps with
+  // bad latency: context must NOT excuse it.
+  SlotQoeMetrics slot{.frame_rate = 15.0, .throughput_mbps = 3.0,
+                      .rtt_ms = 85.0, .loss_rate = 0.03};
+  QoeContext context{.expected_peak_mbps = 45.0, .expected_peak_fps = 60.0,
+                     .stage = kStageActive};
+  EXPECT_EQ(effective_qoe(slot, context), QoeLevel::kBad);
+}
+
+TEST(EffectiveQoe, LatencyLossGatesUnchangedByContext) {
+  // §5.3: latency/loss expectations are NOT calibrated. Even a fully
+  // satisfied idle stage with terrible RTT cannot be good.
+  SlotQoeMetrics slot{.frame_rate = 25.0, .throughput_mbps = 4.0,
+                      .rtt_ms = 95.0, .loss_rate = 0.0};
+  EXPECT_EQ(effective_qoe(slot, idle_context()), QoeLevel::kBad);
+  auto medium_rtt = slot;
+  medium_rtt.rtt_ms = 50.0;
+  EXPECT_EQ(effective_qoe(medium_rtt, idle_context()), QoeLevel::kMedium);
+}
+
+TEST(EffectiveQoe, PassiveStageToleratesReducedUpstreamDemand) {
+  // Passive: downstream stays high; modest throughput dip is fine.
+  SlotQoeMetrics slot{.frame_rate = 55.0, .throughput_mbps = 16.0,
+                      .rtt_ms = 15.0, .loss_rate = 0.001};
+  QoeContext context{.expected_peak_mbps = 25.0, .expected_peak_fps = 60.0,
+                     .stage = kStagePassive};
+  EXPECT_EQ(effective_qoe(slot, context), QoeLevel::kGood);
+}
+
+TEST(EffectiveQoe, NeverWorseForMeetingAbsoluteThresholds) {
+  // A stream exceeding the generic good thresholds is good regardless of
+  // a modest context expectation.
+  SlotQoeMetrics slot{.frame_rate = 90.0, .throughput_mbps = 40.0,
+                      .rtt_ms = 8.0, .loss_rate = 0.0};
+  QoeContext context{.expected_peak_mbps = 200.0, .expected_peak_fps = 144.0,
+                     .stage = kStageActive};
+  EXPECT_EQ(effective_qoe(slot, context), QoeLevel::kGood);
+}
+
+TEST(SessionLevel, MajorityWins) {
+  EXPECT_EQ(session_level({QoeLevel::kGood, QoeLevel::kGood, QoeLevel::kBad}),
+            QoeLevel::kGood);
+  EXPECT_EQ(session_level({QoeLevel::kBad, QoeLevel::kBad, QoeLevel::kGood}),
+            QoeLevel::kBad);
+}
+
+TEST(SessionLevel, TieResolvesTowardWorse) {
+  EXPECT_EQ(session_level({QoeLevel::kGood, QoeLevel::kBad}), QoeLevel::kBad);
+  EXPECT_EQ(session_level({QoeLevel::kGood, QoeLevel::kMedium}),
+            QoeLevel::kMedium);
+}
+
+TEST(SessionLevel, EmptyIsBadByConvention) {
+  EXPECT_EQ(session_level({}), QoeLevel::kBad);
+}
+
+TEST(QoeLevel, Names) {
+  EXPECT_STREQ(to_string(QoeLevel::kBad), "bad");
+  EXPECT_STREQ(to_string(QoeLevel::kMedium), "medium");
+  EXPECT_STREQ(to_string(QoeLevel::kGood), "good");
+}
+
+/// Property: effective QoE is never worse than objective QoE when the
+/// network gates pass — context only relaxes media expectations.
+class QoeMonotonicity : public ::testing::TestWithParam<int> {};
+
+TEST_P(QoeMonotonicity, EffectiveAtLeastObjectiveWithCleanNetwork) {
+  ml::Rng rng(static_cast<std::uint64_t>(GetParam()) + 1);
+  for (int i = 0; i < 200; ++i) {
+    SlotQoeMetrics slot{.frame_rate = rng.uniform(5.0, 120.0),
+                        .throughput_mbps = rng.uniform(0.5, 70.0),
+                        .rtt_ms = rng.uniform(5.0, 35.0),
+                        .loss_rate = rng.uniform(0.0, 0.004)};
+    QoeContext context{
+        .expected_peak_mbps = rng.uniform(5.0, 70.0),
+        .expected_peak_fps = rng.uniform(30.0, 120.0),
+        .stage = static_cast<ml::Label>(GetParam() % 3)};
+    EXPECT_GE(static_cast<int>(effective_qoe(slot, context)),
+              static_cast<int>(objective_qoe(slot)) - 1)
+        << "fps=" << slot.frame_rate << " tput=" << slot.throughput_mbps;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Stages, QoeMonotonicity, ::testing::Range(0, 3));
+
+}  // namespace
+}  // namespace cgctx::core

@@ -1,0 +1,171 @@
+#include "core/training.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cgctx::core {
+namespace {
+
+std::vector<sim::SessionSpec> tiny_plan(double gameplay_seconds,
+                                        std::uint64_t seed) {
+  sim::LabPlanOptions plan;
+  plan.scale = 0.03;  // ~16 sessions
+  plan.gameplay_seconds = gameplay_seconds;
+  plan.seed = seed;
+  return sim::lab_session_plan(plan);
+}
+
+TEST(Training, PopularTitleClassNamesMatchCatalog) {
+  const auto names = popular_title_class_names();
+  ASSERT_EQ(names.size(), sim::kNumPopularTitles);
+  EXPECT_EQ(names[0], "Fortnite");
+  EXPECT_EQ(names[12], "Hearthstone");
+}
+
+TEST(Training, ForEachRenderedSessionVisitsAllSpecs) {
+  const auto specs = tiny_plan(5.0, 1);
+  std::size_t visits = 0;
+  for_each_rendered_session(specs, [&](const sim::LabeledSession& session) {
+    ++visits;
+    EXPECT_FALSE(session.packets.empty());
+  });
+  EXPECT_EQ(visits, specs.size());
+}
+
+TEST(Training, TitleDatasetRowPerSessionPlusAugmentation) {
+  const auto specs = tiny_plan(5.0, 2);
+  TitleDatasetOptions options;
+  options.augment_copies = 2;
+  const auto data = build_title_dataset(specs, options);
+  EXPECT_EQ(data.size(), specs.size() * 3);
+  EXPECT_EQ(data.num_features(), kNumLaunchAttributes);
+}
+
+TEST(Training, AugmentedCopiesShareLabelButDiffer) {
+  const auto specs = tiny_plan(5.0, 3);
+  TitleDatasetOptions options;
+  options.augment_copies = 1;
+  const auto data = build_title_dataset(specs, options);
+  // Rows come in (original, copy) order per spec.
+  for (std::size_t i = 0; i + 1 < 2 * specs.size(); i += 2) {
+    EXPECT_EQ(data.label(i), data.label(i + 1));
+    EXPECT_NE(data.row(i), data.row(i + 1));  // different rendering noise
+  }
+}
+
+TEST(Training, TitleDatasetRejectsLongTailSpecs) {
+  auto specs = tiny_plan(5.0, 4);
+  specs[0].title = sim::GameTitle::kOtherContinuous;
+  EXPECT_THROW(build_title_dataset(specs), std::invalid_argument);
+}
+
+TEST(Training, FlowVolumetricDatasetShape) {
+  const auto specs = tiny_plan(5.0, 5);
+  const auto data = build_flow_volumetric_dataset(specs);
+  EXPECT_EQ(data.size(), specs.size());
+  EXPECT_EQ(data.num_features(), 10u);  // 2 x 5 slots
+}
+
+TEST(Training, AggregateSlotsBinsBothDirections) {
+  std::vector<net::PacketRecord> packets;
+  net::PacketRecord pkt;
+  pkt.direction = net::Direction::kDownstream;
+  pkt.timestamp = net::duration_from_seconds(0.5);
+  pkt.payload_size = 1000;
+  packets.push_back(pkt);
+  pkt.direction = net::Direction::kUpstream;
+  pkt.timestamp = net::duration_from_seconds(1.5);
+  pkt.payload_size = 90;
+  packets.push_back(pkt);
+  const auto slots = aggregate_slots(packets, 0, net::kNanosPerSecond, 3);
+  ASSERT_EQ(slots.size(), 3u);
+  EXPECT_EQ(slots[0].down_bytes, 1000u);
+  EXPECT_EQ(slots[0].down_packets, 1u);
+  EXPECT_EQ(slots[1].up_bytes, 90u);
+  EXPECT_EQ(slots[1].up_packets, 1u);
+  EXPECT_EQ(slots[2].down_packets + slots[2].up_packets, 0u);
+}
+
+TEST(Training, StageRowsFromSlotsExcludeLaunch) {
+  const sim::SessionGenerator gen;
+  sim::SessionSpec spec;
+  spec.title = sim::GameTitle::kCsgo;
+  spec.gameplay_seconds = 120;
+  spec.seed = 6;
+  const auto session = gen.generate_slots_only(spec);
+  const auto rows = stage_rows_from_slots(session);
+  // One row per gameplay second (plus/minus boundary slots).
+  EXPECT_NEAR(static_cast<double>(rows.size()), 120.0, 3.0);
+  for (const StageRow& row : rows) {
+    EXPECT_EQ(row.attributes.size(), kNumVolumetricAttributes);
+    EXPECT_GE(row.stage, 0);
+    EXPECT_LT(row.stage, static_cast<ml::Label>(kNumStageLabels));
+  }
+}
+
+TEST(Training, StageRowsFromPacketsMatchSlotFidelityStatistically) {
+  const sim::SessionGenerator gen;
+  sim::SessionSpec spec;
+  spec.title = sim::GameTitle::kOverwatch2;
+  spec.gameplay_seconds = 90;
+  spec.seed = 7;
+  const auto packet_session = gen.generate(spec);
+  const auto rows = stage_rows_from_packets(packet_session, 1.0);
+  EXPECT_NEAR(static_cast<double>(rows.size()), 90.0, 3.0);
+}
+
+TEST(Training, StageRowsSupportSubSecondSlots) {
+  const sim::SessionGenerator gen;
+  sim::SessionSpec spec;
+  spec.title = sim::GameTitle::kRocketLeague;
+  spec.gameplay_seconds = 30;
+  spec.seed = 8;
+  const auto session = gen.generate(spec);
+  const auto rows_half = stage_rows_from_packets(session, 0.5);
+  const auto rows_two = stage_rows_from_packets(session, 2.0);
+  EXPECT_GT(rows_half.size(), rows_two.size() * 3);
+}
+
+TEST(Training, StageDatasetCoversAllStages) {
+  const auto specs = tiny_plan(240.0, 9);
+  const auto data = build_stage_dataset(specs);
+  const auto counts = data.class_counts();
+  for (std::size_t c = 0; c < kNumStageLabels; ++c)
+    EXPECT_GT(counts[c], 10u) << "stage " << c;
+}
+
+TEST(Training, PatternDatasetLabelsFollowCatalog) {
+  const auto stage_specs = tiny_plan(200.0, 10);
+  StageClassifier stages;
+  stages.train(build_stage_dataset(stage_specs));
+  const auto pattern_specs = tiny_plan(300.0, 11);
+  const auto data = build_pattern_dataset(pattern_specs, stages);
+  // Each session contributes several distinct horizon-checkpoint rows
+  // (so the inferrer also learns partial-session matrices).
+  EXPECT_GE(data.size(), 2 * pattern_specs.size());
+  EXPECT_LE(data.size(), 6 * pattern_specs.size());
+  EXPECT_EQ(data.num_features(), kNumTransitionAttributes);
+  // Class balance mirrors the plan's pattern mix (labels are valid).
+  const auto counts = data.class_counts();
+  EXPECT_GT(counts[static_cast<std::size_t>(kPatternContinuous)], 0u);
+  EXPECT_GT(counts[static_cast<std::size_t>(kPatternSpectate)], 0u);
+}
+
+TEST(Training, PatternDatasetFinalOnlyYieldsOneRowPerSession) {
+  const auto stage_specs = tiny_plan(200.0, 12);
+  StageClassifier stages;
+  stages.train(build_stage_dataset(stage_specs));
+  const auto pattern_specs = tiny_plan(300.0, 13);
+  const auto data = build_pattern_dataset(pattern_specs, stages, {},
+                                          /*include_prefix_horizons=*/false);
+  ASSERT_EQ(data.size(), pattern_specs.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const auto expected = sim::info(pattern_specs[i].title).pattern ==
+                                  sim::ActivityPattern::kContinuousPlay
+                              ? kPatternContinuous
+                              : kPatternSpectate;
+    EXPECT_EQ(data.label(i), expected);
+  }
+}
+
+}  // namespace
+}  // namespace cgctx::core

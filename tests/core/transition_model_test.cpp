@@ -1,0 +1,184 @@
+#include "core/transition_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/stage_classifier.hpp"
+
+namespace cgctx::core {
+namespace {
+
+TEST(TransitionTracker, FirstPushOnlySetsState) {
+  TransitionTracker tracker;
+  tracker.push(kStageActive);
+  EXPECT_EQ(tracker.transition_count(), 0u);
+  const auto probs = tracker.probabilities();
+  for (double p : probs) EXPECT_DOUBLE_EQ(p, 0.0);
+}
+
+TEST(TransitionTracker, CountsTransitionsIncludingRetention) {
+  TransitionTracker tracker;
+  tracker.push(kStageIdle);
+  tracker.push(kStageIdle);    // idle->idle
+  tracker.push(kStageActive);  // idle->active
+  tracker.push(kStageActive);  // active->active
+  tracker.push(kStagePassive); // active->passive
+  EXPECT_EQ(tracker.transition_count(), 4u);
+  const auto& counts = tracker.counts();
+  EXPECT_EQ(counts[kStageIdle * 3 + kStageIdle], 1u);
+  EXPECT_EQ(counts[kStageIdle * 3 + kStageActive], 1u);
+  EXPECT_EQ(counts[kStageActive * 3 + kStageActive], 1u);
+  EXPECT_EQ(counts[kStageActive * 3 + kStagePassive], 1u);
+}
+
+TEST(TransitionTracker, ProbabilitiesSumToOne) {
+  TransitionTracker tracker;
+  tracker.push(kStageIdle);
+  for (int i = 0; i < 10; ++i) tracker.push(i % 2 == 0 ? kStageActive : kStagePassive);
+  const auto probs = tracker.probabilities();
+  double total = 0.0;
+  for (double p : probs) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(TransitionTracker, RejectsBadLabels) {
+  TransitionTracker tracker;
+  EXPECT_THROW(tracker.push(-1), std::invalid_argument);
+  EXPECT_THROW(tracker.push(3), std::invalid_argument);
+}
+
+TEST(TransitionTracker, ResetClears) {
+  TransitionTracker tracker;
+  tracker.push(kStageIdle);
+  tracker.push(kStageActive);
+  tracker.reset();
+  EXPECT_EQ(tracker.transition_count(), 0u);
+  tracker.push(kStagePassive);
+  EXPECT_EQ(tracker.transition_count(), 0u);  // first push after reset
+}
+
+TEST(TransitionAttributes, NineNamedAttributes) {
+  const auto names = transition_attribute_names();
+  EXPECT_EQ(names.size(), kNumTransitionAttributes);
+  EXPECT_EQ(names[0], "active->active");
+  EXPECT_EQ(names[2], "active->idle");
+  EXPECT_EQ(names[8], "idle->idle");
+}
+
+/// Builds a dataset where continuous-play has long active runs with idle
+/// breaks, and spectate-and-play cycles through all three stages.
+ml::Dataset synthetic_pattern_data(std::size_t per_class) {
+  ml::Dataset data(transition_attribute_names(), pattern_class_names());
+  ml::Rng rng(99);
+  for (std::size_t i = 0; i < per_class; ++i) {
+    {
+      TransitionTracker t;
+      t.push(kStageIdle);
+      for (int s = 0; s < 200; ++s) {
+        // Continuous: mostly active, occasional idle, almost no passive.
+        const double u = rng.next_double();
+        t.push(u < 0.8 ? kStageActive : u < 0.99 ? kStageIdle : kStagePassive);
+      }
+      data.add(t.probabilities(), kPatternContinuous);
+    }
+    {
+      TransitionTracker t;
+      t.push(kStageIdle);
+      for (int s = 0; s < 200; ++s) {
+        const double u = rng.next_double();
+        t.push(u < 0.5 ? kStageActive : u < 0.85 ? kStagePassive : kStageIdle);
+      }
+      data.add(t.probabilities(), kPatternSpectate);
+    }
+  }
+  return data;
+}
+
+TEST(PatternInferrer, LearnsSyntheticPatterns) {
+  const auto data = synthetic_pattern_data(60);
+  ml::Rng rng(1);
+  const auto split = ml::stratified_split(data, 0.3, rng);
+  PatternInferrer inferrer;
+  inferrer.train(split.train);
+  double correct = 0;
+  for (std::size_t i = 0; i < split.test.size(); ++i) {
+    TransitionTracker t;  // rebuild a tracker-compatible row check
+    (void)t;
+    if (inferrer.forest().predict(split.test.row(i)) == split.test.label(i))
+      ++correct;
+  }
+  EXPECT_GT(correct / static_cast<double>(split.test.size()), 0.95);
+}
+
+TEST(PatternInferrer, InferRequiresMinimumTransitions) {
+  const auto data = synthetic_pattern_data(30);
+  PatternInferrer inferrer;
+  inferrer.train(data);
+  TransitionTracker tracker;
+  tracker.push(kStageActive);
+  for (int i = 0; i < 10; ++i) tracker.push(kStageActive);
+  EXPECT_FALSE(inferrer.infer(tracker).has_value());  // < min_transitions
+}
+
+TEST(PatternInferrer, InferRespectsConfidenceThreshold) {
+  const auto data = synthetic_pattern_data(30);
+  PatternInferrerParams params;
+  params.confidence_threshold = 1.01;  // unreachable
+  params.min_transitions = 5;
+  PatternInferrer inferrer(params);
+  inferrer.train(data);
+  TransitionTracker tracker;
+  tracker.push(kStageIdle);
+  for (int i = 0; i < 100; ++i) tracker.push(kStageActive);
+  EXPECT_FALSE(inferrer.infer(tracker).has_value());
+  // Unchecked inference still produces a result.
+  const auto result = inferrer.infer_unchecked(tracker);
+  EXPECT_GE(result.label, 0);
+  EXPECT_GT(result.confidence, 0.0);
+}
+
+TEST(PatternInferrer, ConfidentContinuousRunInfersContinuous) {
+  const auto data = synthetic_pattern_data(60);
+  PatternInferrer inferrer;
+  inferrer.train(data);
+  TransitionTracker tracker;
+  ml::Rng rng(7);
+  tracker.push(kStageIdle);
+  for (int i = 0; i < 300; ++i)
+    tracker.push(rng.next_double() < 0.85 ? kStageActive : kStageIdle);
+  const auto result = inferrer.infer(tracker);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->label, kPatternContinuous);
+  EXPECT_GE(result->confidence, 0.75);
+}
+
+TEST(PatternInferrer, TrainRejectsWrongWidth) {
+  ml::Dataset bad({"a", "b"}, pattern_class_names());
+  bad.add({1.0, 2.0}, 0);
+  PatternInferrer inferrer;
+  EXPECT_THROW(inferrer.train(bad), std::invalid_argument);
+}
+
+TEST(PatternInferrer, SerializeRoundTrip) {
+  const auto data = synthetic_pattern_data(20);
+  PatternInferrer inferrer;
+  inferrer.train(data);
+  const auto copy = PatternInferrer::deserialize(inferrer.serialize());
+  EXPECT_DOUBLE_EQ(copy.params().confidence_threshold,
+                   inferrer.params().confidence_threshold);
+  TransitionTracker tracker;
+  tracker.push(kStageIdle);
+  for (int i = 0; i < 60; ++i) tracker.push(kStageActive);
+  const auto a = inferrer.infer_unchecked(tracker);
+  const auto b = copy.infer_unchecked(tracker);
+  EXPECT_EQ(a.label, b.label);
+  EXPECT_DOUBLE_EQ(a.confidence, b.confidence);
+}
+
+TEST(PatternInferrer, DeserializeRejectsGarbage) {
+  EXPECT_THROW(PatternInferrer::deserialize("junk"), std::invalid_argument);
+  EXPECT_THROW(PatternInferrer::deserialize("wrong 0.75 30\nforest 0 0"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cgctx::core

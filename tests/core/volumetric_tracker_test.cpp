@@ -1,0 +1,128 @@
+#include "core/volumetric_tracker.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cgctx::core {
+namespace {
+
+RawSlotVolumetrics slot(std::uint64_t down_bytes, std::uint64_t down_pkts,
+                        std::uint64_t up_bytes, std::uint64_t up_pkts) {
+  return RawSlotVolumetrics{down_bytes, down_pkts, up_bytes, up_pkts};
+}
+
+TEST(VolumetricTracker, FourNamedAttributes) {
+  EXPECT_EQ(volumetric_attribute_names().size(), kNumVolumetricAttributes);
+  EXPECT_EQ(kNumVolumetricAttributes, 4u);
+}
+
+TEST(VolumetricTracker, FirstSlotIsItsOwnPeak) {
+  VolumetricTracker tracker;
+  const auto attrs = tracker.push(slot(1000, 10, 100, 5));
+  ASSERT_EQ(attrs.size(), 4u);
+  for (double a : attrs) EXPECT_DOUBLE_EQ(a, 1.0);
+}
+
+TEST(VolumetricTracker, RelativeValuesTrackRunningPeak) {
+  VolumetricTrackerParams params;
+  params.enable_ema = false;  // isolate the normalization
+  VolumetricTracker tracker(params);
+  tracker.push(slot(1000, 10, 100, 10));
+  const auto half = tracker.push(slot(500, 5, 50, 5));
+  for (double a : half) EXPECT_NEAR(a, 0.5, 1e-12);
+  // A new peak renormalizes subsequent slots.
+  const auto peak = tracker.push(slot(2000, 20, 200, 20));
+  for (double a : peak) EXPECT_NEAR(a, 1.0, 1e-12);
+  const auto quarter = tracker.push(slot(500, 5, 50, 5));
+  for (double a : quarter) EXPECT_NEAR(a, 0.25, 1e-12);
+}
+
+TEST(VolumetricTracker, EmaSmoothsTransitions) {
+  VolumetricTrackerParams params;
+  params.alpha = 0.5;
+  VolumetricTracker tracker(params);
+  tracker.push(slot(1000, 10, 100, 10));  // peak, value 1.0
+  // Drop to 0 raw; EMA keeps half the history.
+  const auto smoothed = tracker.push(slot(0, 0, 0, 0));
+  for (double a : smoothed) EXPECT_NEAR(a, 0.5, 1e-12);
+  const auto next = tracker.push(slot(0, 0, 0, 0));
+  for (double a : next) EXPECT_NEAR(a, 0.25, 1e-12);
+}
+
+TEST(VolumetricTracker, AlphaOneDisablesHistory) {
+  VolumetricTrackerParams params;
+  params.alpha = 1.0;
+  VolumetricTracker tracker(params);
+  tracker.push(slot(1000, 10, 100, 10));
+  const auto attrs = tracker.push(slot(0, 0, 0, 0));
+  for (double a : attrs) EXPECT_DOUBLE_EQ(a, 0.0);
+}
+
+TEST(VolumetricTracker, EmaDisabledReturnsRawRelatives) {
+  VolumetricTrackerParams params;
+  params.enable_ema = false;
+  VolumetricTracker tracker(params);
+  tracker.push(slot(1000, 10, 100, 10));
+  const auto attrs = tracker.push(slot(100, 1, 10, 1));
+  for (double a : attrs) EXPECT_NEAR(a, 0.1, 1e-12);
+}
+
+TEST(VolumetricTracker, AbsoluteModeSkipsNormalization) {
+  VolumetricTrackerParams params;
+  params.relative_to_peak = false;
+  params.enable_ema = false;
+  VolumetricTracker tracker(params);
+  const auto attrs = tracker.push(slot(1234, 56, 78, 9));
+  EXPECT_DOUBLE_EQ(attrs[0], 1234.0);
+  EXPECT_DOUBLE_EQ(attrs[1], 56.0);
+  EXPECT_DOUBLE_EQ(attrs[2], 78.0);
+  EXPECT_DOUBLE_EQ(attrs[3], 9.0);
+}
+
+TEST(VolumetricTracker, ZeroTrafficNeverDividesByZero) {
+  VolumetricTracker tracker;
+  const auto attrs = tracker.push(slot(0, 0, 0, 0));
+  for (double a : attrs) {
+    EXPECT_TRUE(std::isfinite(a));
+    EXPECT_DOUBLE_EQ(a, 0.0);
+  }
+}
+
+TEST(VolumetricTracker, ResetClearsState) {
+  VolumetricTracker tracker;
+  tracker.push(slot(1000, 10, 100, 10));
+  tracker.push(slot(500, 5, 50, 5));
+  tracker.reset();
+  EXPECT_EQ(tracker.slots_seen(), 0u);
+  const auto attrs = tracker.push(slot(10, 1, 1, 1));
+  for (double a : attrs) EXPECT_DOUBLE_EQ(a, 1.0);  // fresh peak
+}
+
+TEST(VolumetricTracker, SlotsSeenCounts) {
+  VolumetricTracker tracker;
+  for (int i = 0; i < 5; ++i) tracker.push(slot(1, 1, 1, 1));
+  EXPECT_EQ(tracker.slots_seen(), 5u);
+}
+
+/// Property sweep over alpha: outputs always within [0, 1] in relative
+/// mode and converge toward the steady-state input level.
+class AlphaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(AlphaSweep, ConvergesToSteadyLevel) {
+  VolumetricTrackerParams params;
+  params.alpha = GetParam();
+  VolumetricTracker tracker(params);
+  tracker.push(slot(1000, 10, 100, 10));  // arm the peak
+  ml::FeatureRow attrs;
+  for (int i = 0; i < 60; ++i) attrs = tracker.push(slot(300, 3, 30, 3));
+  for (double a : attrs) {
+    EXPECT_NEAR(a, 0.3, 0.02);
+    EXPECT_GE(a, 0.0);
+    EXPECT_LE(a, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, AlphaSweep,
+                         ::testing::Values(0.1, 0.3, 0.5, 0.7, 0.9, 1.0));
+
+}  // namespace
+}  // namespace cgctx::core

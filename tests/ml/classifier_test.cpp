@@ -1,0 +1,52 @@
+#include "ml/classifier.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cgctx::ml {
+namespace {
+
+/// Deterministic stub: predicts class floor(x) clamped to [0, k).
+class StubClassifier final : public Classifier {
+ public:
+  explicit StubClassifier(std::size_t num_classes)
+      : num_classes_(num_classes) {}
+  void fit(const Dataset&) override {}
+  [[nodiscard]] Label predict(const FeatureRow& row) const override {
+    const auto c = static_cast<Label>(row.at(0));
+    return std::clamp<Label>(c, 0, static_cast<Label>(num_classes_ - 1));
+  }
+  [[nodiscard]] ClassProbabilities predict_proba(
+      const FeatureRow& row) const override {
+    ClassProbabilities probs(num_classes_, 0.05);
+    probs[static_cast<std::size_t>(predict(row))] = 0.9;
+    return probs;
+  }
+
+ private:
+  std::size_t num_classes_;
+};
+
+TEST(Classifier, PredictWithConfidenceUsesArgmax) {
+  const StubClassifier stub(3);
+  const auto prediction = stub.predict_with_confidence({1.2});
+  EXPECT_EQ(prediction.label, 1);
+  EXPECT_DOUBLE_EQ(prediction.confidence, 0.9);
+}
+
+TEST(Classifier, ScoreCountsMatches) {
+  const StubClassifier stub(2);
+  Dataset data({"x"}, {"a", "b"});
+  data.add({0.0}, 0);   // predicted 0, correct
+  data.add({1.0}, 1);   // predicted 1, correct
+  data.add({0.0}, 1);   // predicted 0, wrong
+  data.add({1.0}, 0);   // predicted 1, wrong
+  EXPECT_DOUBLE_EQ(stub.score(data), 0.5);
+}
+
+TEST(Classifier, ScoreOfEmptyDatasetIsZero) {
+  const StubClassifier stub(2);
+  EXPECT_DOUBLE_EQ(stub.score(Dataset{}), 0.0);
+}
+
+}  // namespace
+}  // namespace cgctx::ml

@@ -1,0 +1,108 @@
+#include "ml/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace cgctx::ml {
+namespace {
+
+Dataset sample_data() {
+  Dataset data({"size", "rate"}, {"Fortnite", "CS:GO/CS2"});
+  data.add({1432.0, 60.5}, 0);
+  data.add({800.25, 30.0}, 1);
+  data.add({-3.5, 0.0}, 0);
+  return data;
+}
+
+TEST(Csv, WriteReadRoundTrip) {
+  std::stringstream stream;
+  write_csv(stream, sample_data());
+  const Dataset loaded = read_csv(stream);
+  const Dataset original = sample_data();
+  ASSERT_EQ(loaded.size(), original.size());
+  EXPECT_EQ(loaded.feature_names(), original.feature_names());
+  EXPECT_EQ(loaded.class_names(), original.class_names());
+  for (std::size_t i = 0; i < loaded.size(); ++i) {
+    EXPECT_EQ(loaded.label(i), original.label(i));
+    for (std::size_t j = 0; j < 2; ++j)
+      EXPECT_DOUBLE_EQ(loaded.row(i)[j], original.row(i)[j]);
+  }
+}
+
+TEST(Csv, HeaderContainsNamesAndLabel) {
+  std::stringstream stream;
+  write_csv(stream, sample_data());
+  std::string header;
+  std::getline(stream, header);
+  EXPECT_EQ(header, "size,rate,label");
+}
+
+TEST(Csv, QuotesCommasInClassNames) {
+  Dataset data({"x"}, {"a,b"});
+  data.add({1.0}, 0);
+  std::stringstream stream;
+  write_csv(stream, data);
+  const Dataset loaded = read_csv(stream);
+  EXPECT_EQ(loaded.class_names()[0], "a,b");
+}
+
+TEST(Csv, QuotesQuotesInClassNames) {
+  Dataset data({"x"}, {"the \"best\" game"});
+  data.add({2.0}, 0);
+  std::stringstream stream;
+  write_csv(stream, data);
+  const Dataset loaded = read_csv(stream);
+  EXPECT_EQ(loaded.class_names()[0], "the \"best\" game");
+}
+
+TEST(Csv, AutoGeneratesFeatureNames) {
+  Dataset data({}, {"a"});
+  data.add({1.0, 2.0}, 0);
+  std::stringstream stream;
+  write_csv(stream, data);
+  std::string header;
+  std::getline(stream, header);
+  EXPECT_EQ(header, "f0,f1,label");
+}
+
+TEST(Csv, ReadRejectsMissingHeader) {
+  std::stringstream empty;
+  EXPECT_THROW(read_csv(empty), std::invalid_argument);
+}
+
+TEST(Csv, ReadRejectsWrongLabelColumn) {
+  std::stringstream stream("a,b,c\n1,2,3\n");
+  EXPECT_THROW(read_csv(stream), std::invalid_argument);
+}
+
+TEST(Csv, ReadRejectsRaggedRow) {
+  std::stringstream stream("a,label\n1,x\n1,2,x\n");
+  EXPECT_THROW(read_csv(stream), std::invalid_argument);
+}
+
+TEST(Csv, ReadRejectsNonNumericFeature) {
+  std::stringstream stream("a,label\nfoo,x\n");
+  EXPECT_THROW(read_csv(stream), std::invalid_argument);
+}
+
+TEST(Csv, SkipsBlankLinesAndCarriageReturns) {
+  std::stringstream stream("a,label\r\n1.5,x\r\n\r\n2.5,y\r\n");
+  const Dataset loaded = read_csv(stream);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_DOUBLE_EQ(loaded.row(1)[0], 2.5);
+  EXPECT_EQ(loaded.class_names(),
+            (std::vector<std::string>{"x", "y"}));
+}
+
+TEST(Csv, FileRoundTrip) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "cgctx_csv_test.csv";
+  write_csv(path, sample_data());
+  const Dataset loaded = read_csv(path);
+  EXPECT_EQ(loaded.size(), 3u);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace cgctx::ml

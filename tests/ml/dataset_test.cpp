@@ -1,0 +1,131 @@
+#include "ml/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace cgctx::ml {
+namespace {
+
+Dataset make_dataset(std::size_t per_class, std::size_t classes) {
+  Dataset data({"x", "y"}, [&] {
+    std::vector<std::string> names;
+    for (std::size_t c = 0; c < classes; ++c)
+      names.push_back("c" + std::to_string(c));
+    return names;
+  }());
+  for (std::size_t c = 0; c < classes; ++c)
+    for (std::size_t i = 0; i < per_class; ++i)
+      data.add({static_cast<double>(c), static_cast<double>(i)},
+               static_cast<Label>(c));
+  return data;
+}
+
+TEST(Dataset, AddAndAccess) {
+  Dataset data({"a", "b", "c"}, {"x", "y"});
+  data.add({1.0, 2.0, 3.0}, 1);
+  EXPECT_EQ(data.size(), 1u);
+  EXPECT_EQ(data.num_features(), 3u);
+  EXPECT_EQ(data.num_classes(), 2u);
+  EXPECT_EQ(data.label(0), 1);
+  EXPECT_DOUBLE_EQ(data.row(0)[2], 3.0);
+}
+
+TEST(Dataset, RejectsInconsistentWidth) {
+  Dataset data({"a", "b"}, {"x"});
+  data.add({1.0, 2.0}, 0);
+  EXPECT_THROW(data.add({1.0}, 0), std::invalid_argument);
+}
+
+TEST(Dataset, RejectsBadLabel) {
+  Dataset data({"a"}, {"only"});
+  EXPECT_THROW(data.add({1.0}, 1), std::invalid_argument);
+  EXPECT_THROW(data.add({1.0}, -1), std::invalid_argument);
+}
+
+TEST(Dataset, NumClassesInferredWithoutNames) {
+  Dataset data;
+  data.add({1.0}, 0);
+  data.add({2.0}, 4);
+  EXPECT_EQ(data.num_classes(), 5u);
+}
+
+TEST(Dataset, SubsetSelectsRows) {
+  Dataset data = make_dataset(3, 2);
+  const Dataset sub = data.subset({0, 5});
+  ASSERT_EQ(sub.size(), 2u);
+  EXPECT_EQ(sub.label(0), 0);
+  EXPECT_EQ(sub.label(1), 1);
+  EXPECT_EQ(sub.feature_names(), data.feature_names());
+}
+
+TEST(Dataset, ClassCounts) {
+  Dataset data = make_dataset(4, 3);
+  const auto counts = data.class_counts();
+  ASSERT_EQ(counts.size(), 3u);
+  for (std::size_t c : counts) EXPECT_EQ(c, 4u);
+}
+
+TEST(StratifiedSplit, PreservesClassProportions) {
+  Dataset data = make_dataset(40, 3);
+  Rng rng(5);
+  const auto split = stratified_split(data, 0.25, rng);
+  EXPECT_EQ(split.train.size(), 90u);
+  EXPECT_EQ(split.test.size(), 30u);
+  const auto train_counts = split.train.class_counts();
+  const auto test_counts = split.test.class_counts();
+  for (std::size_t c = 0; c < 3; ++c) {
+    EXPECT_EQ(train_counts[c], 30u);
+    EXPECT_EQ(test_counts[c], 10u);
+  }
+}
+
+TEST(StratifiedSplit, RejectsDegenerateFractions) {
+  Dataset data = make_dataset(4, 2);
+  Rng rng(5);
+  EXPECT_THROW(stratified_split(data, 0.0, rng), std::invalid_argument);
+  EXPECT_THROW(stratified_split(data, 1.0, rng), std::invalid_argument);
+}
+
+TEST(StratifiedSplit, SmallClassesStillGetTestRows) {
+  Dataset data = make_dataset(3, 2);
+  Rng rng(5);
+  const auto split = stratified_split(data, 0.3, rng);
+  const auto test_counts = split.test.class_counts();
+  EXPECT_EQ(test_counts[0], 1u);
+  EXPECT_EQ(test_counts[1], 1u);
+}
+
+TEST(StratifiedKfold, FoldsPartitionAllIndices) {
+  Dataset data = make_dataset(10, 4);
+  Rng rng(9);
+  const auto folds = stratified_kfold(data, 5, rng);
+  ASSERT_EQ(folds.size(), 5u);
+  std::set<std::size_t> seen;
+  for (const auto& fold : folds) {
+    EXPECT_EQ(fold.size(), 8u);  // 40 rows / 5 folds
+    for (std::size_t index : fold) EXPECT_TRUE(seen.insert(index).second);
+  }
+  EXPECT_EQ(seen.size(), data.size());
+}
+
+TEST(StratifiedKfold, EachFoldIsClassBalanced) {
+  Dataset data = make_dataset(10, 2);
+  Rng rng(11);
+  const auto folds = stratified_kfold(data, 5, rng);
+  for (const auto& fold : folds) {
+    std::size_t c0 = 0;
+    for (std::size_t index : fold)
+      if (data.label(index) == 0) ++c0;
+    EXPECT_EQ(c0, 2u);
+  }
+}
+
+TEST(StratifiedKfold, RejectsKBelowTwo) {
+  Dataset data = make_dataset(4, 2);
+  Rng rng(1);
+  EXPECT_THROW(stratified_kfold(data, 1, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cgctx::ml

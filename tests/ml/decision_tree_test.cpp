@@ -1,0 +1,169 @@
+#include "ml/decision_tree.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cgctx::ml {
+namespace {
+
+/// Two well-separated 2-D Gaussian-ish blobs.
+Dataset blobs(std::size_t per_class, double separation, std::uint64_t seed) {
+  Dataset data({"x", "y"}, {"left", "right"});
+  Rng rng(seed);
+  for (std::size_t i = 0; i < per_class; ++i) {
+    data.add({rng.normal(-separation, 1.0), rng.normal(0.0, 1.0)}, 0);
+    data.add({rng.normal(separation, 1.0), rng.normal(0.0, 1.0)}, 1);
+  }
+  return data;
+}
+
+/// XOR pattern: not linearly separable, needs depth >= 2.
+Dataset xor_data() {
+  Dataset data({"x", "y"}, {"zero", "one"});
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    const double x = rng.uniform(0.0, 1.0);
+    const double y = rng.uniform(0.0, 1.0);
+    data.add({x, y}, (x > 0.5) != (y > 0.5) ? 1 : 0);
+  }
+  return data;
+}
+
+TEST(DecisionTree, FitsSeparableData) {
+  const Dataset data = blobs(100, 4.0, 1);
+  DecisionTree tree;
+  tree.fit(data);
+  EXPECT_GT(tree.score(data), 0.99);
+}
+
+TEST(DecisionTree, SolvesXor) {
+  const Dataset data = xor_data();
+  DecisionTree tree;
+  tree.fit(data);
+  EXPECT_DOUBLE_EQ(tree.score(data), 1.0);
+  EXPECT_GE(tree.depth(), 2u);
+}
+
+TEST(DecisionTree, MaxDepthOneIsAStump) {
+  const Dataset data = blobs(50, 3.0, 2);
+  DecisionTree tree(DecisionTreeParams{.max_depth = 1});
+  tree.fit(data);
+  EXPECT_EQ(tree.depth(), 1u);
+  EXPECT_LE(tree.node_count(), 3u);
+}
+
+TEST(DecisionTree, DepthZeroMeansUnlimited) {
+  const Dataset data = xor_data();
+  DecisionTree tree(DecisionTreeParams{.max_depth = 0});
+  tree.fit(data);
+  EXPECT_DOUBLE_EQ(tree.score(data), 1.0);
+}
+
+TEST(DecisionTree, MinSamplesSplitForcesLeaf) {
+  const Dataset data = blobs(20, 3.0, 4);
+  DecisionTree tree(DecisionTreeParams{.min_samples_split = 1000});
+  tree.fit(data);
+  EXPECT_EQ(tree.node_count(), 1u);  // a single leaf
+  // A single leaf predicts the majority class with its prior.
+  const auto probs = tree.predict_proba({0.0, 0.0});
+  EXPECT_NEAR(probs[0] + probs[1], 1.0, 1e-12);
+}
+
+TEST(DecisionTree, PureNodeBecomesLeafImmediately) {
+  Dataset data({"x"}, {"only"});
+  for (int i = 0; i < 10; ++i) data.add({static_cast<double>(i)}, 0);
+  DecisionTree tree;
+  tree.fit(data);
+  EXPECT_EQ(tree.node_count(), 1u);
+  EXPECT_EQ(tree.predict({3.0}), 0);
+}
+
+TEST(DecisionTree, ConstantFeaturesYieldLeaf) {
+  Dataset data({"x"}, {"a", "b"});
+  for (int i = 0; i < 6; ++i) data.add({1.0}, i % 2);
+  DecisionTree tree;
+  tree.fit(data);
+  EXPECT_EQ(tree.node_count(), 1u);
+}
+
+TEST(DecisionTree, PredictProbaSumsToOne) {
+  const Dataset data = blobs(50, 2.0, 7);
+  DecisionTree tree(DecisionTreeParams{.max_depth = 3});
+  tree.fit(data);
+  const auto probs = tree.predict_proba({0.1, -0.2});
+  ASSERT_EQ(probs.size(), 2u);
+  EXPECT_NEAR(probs[0] + probs[1], 1.0, 1e-12);
+}
+
+TEST(DecisionTree, ThrowsOnEmptyFit) {
+  DecisionTree tree;
+  EXPECT_THROW(tree.fit(Dataset{}), std::invalid_argument);
+}
+
+TEST(DecisionTree, ThrowsOnPredictBeforeFit) {
+  DecisionTree tree;
+  EXPECT_THROW((void)tree.predict({1.0}), std::logic_error);
+}
+
+TEST(DecisionTree, ThrowsOnWidthMismatch) {
+  const Dataset data = blobs(10, 3.0, 9);
+  DecisionTree tree;
+  tree.fit(data);
+  EXPECT_THROW((void)tree.predict({1.0}), std::invalid_argument);
+}
+
+TEST(DecisionTree, FitOnSubsetUsesOnlyThoseRows) {
+  Dataset data({"x"}, {"a", "b"});
+  // Global pattern says class depends on x, but the subset is pure class 0.
+  for (int i = 0; i < 10; ++i) data.add({static_cast<double>(i)}, i < 5 ? 0 : 1);
+  DecisionTree tree;
+  tree.fit_on(data, {0, 1, 2, 3, 4});
+  EXPECT_EQ(tree.predict({9.0}), 0);
+}
+
+TEST(DecisionTree, FeatureSubsamplingStillLearns) {
+  const Dataset data = blobs(100, 4.0, 11);
+  DecisionTree tree(DecisionTreeParams{.max_features = 1, .seed = 5});
+  tree.fit(data);
+  EXPECT_GT(tree.score(data), 0.9);
+}
+
+TEST(DecisionTree, SerializeRoundTripPredictsIdentically) {
+  const Dataset data = blobs(60, 2.5, 13);
+  DecisionTree tree(DecisionTreeParams{.max_depth = 6});
+  tree.fit(data);
+  const DecisionTree copy = DecisionTree::deserialize(tree.serialize());
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    const FeatureRow row{rng.uniform(-6, 6), rng.uniform(-3, 3)};
+    EXPECT_EQ(tree.predict(row), copy.predict(row));
+  }
+}
+
+TEST(DecisionTree, DeserializeRejectsCorruptHeader) {
+  EXPECT_THROW(DecisionTree::deserialize("not_a_tree 1 2 3"),
+               std::invalid_argument);
+}
+
+TEST(DecisionTree, DeserializeRejectsBadChildIndex) {
+  // A split node pointing at node 0 (the root) is invalid.
+  EXPECT_THROW(DecisionTree::deserialize("tree 1 2 2\nsplit 0 0.5 0 0\n"),
+               std::invalid_argument);
+}
+
+/// Property: deeper trees never fit the training set worse.
+class TreeDepthSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TreeDepthSweep, TrainAccuracyMonotoneInDepth) {
+  const Dataset data = blobs(80, 1.0, 19);  // overlapping blobs
+  DecisionTree shallow(DecisionTreeParams{.max_depth = GetParam()});
+  DecisionTree deeper(DecisionTreeParams{.max_depth = GetParam() + 2});
+  shallow.fit(data);
+  deeper.fit(data);
+  EXPECT_GE(deeper.score(data) + 1e-12, shallow.score(data));
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, TreeDepthSweep,
+                         ::testing::Values(1, 2, 3, 4, 6, 8));
+
+}  // namespace
+}  // namespace cgctx::ml

@@ -1,0 +1,132 @@
+#include "ml/gradient_boosting.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ml/rng.hpp"
+
+namespace cgctx::ml {
+namespace {
+
+Dataset blobs(std::size_t per_class, double separation, std::uint64_t seed,
+              std::size_t classes = 2) {
+  std::vector<std::string> names;
+  for (std::size_t c = 0; c < classes; ++c)
+    names.push_back("c" + std::to_string(c));
+  Dataset data({"x", "y"}, names);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < per_class; ++i)
+    for (std::size_t c = 0; c < classes; ++c)
+      data.add({rng.normal(separation * static_cast<double>(c), 1.0),
+                rng.normal(0.0, 1.0)},
+               static_cast<Label>(c));
+  return data;
+}
+
+Dataset xor_data(std::uint64_t seed) {
+  Dataset data({"x", "y"}, {"zero", "one"});
+  Rng rng(seed);
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.uniform(0.0, 1.0);
+    const double y = rng.uniform(0.0, 1.0);
+    data.add({x, y}, (x > 0.5) != (y > 0.5) ? 1 : 0);
+  }
+  return data;
+}
+
+TEST(GradientBoosting, FitsSeparableBlobs) {
+  const Dataset data = blobs(80, 4.0, 1);
+  GradientBoosting model(GradientBoostingParams{.n_rounds = 30});
+  model.fit(data);
+  EXPECT_GT(model.score(data), 0.98);
+  EXPECT_EQ(model.rounds_fitted(), 30u);
+}
+
+TEST(GradientBoosting, SolvesXorWithDepthTwo) {
+  const Dataset data = xor_data(2);
+  GradientBoosting model(
+      GradientBoostingParams{.n_rounds = 60, .max_depth = 2});
+  model.fit(data);
+  EXPECT_GT(model.score(data), 0.95);
+}
+
+TEST(GradientBoosting, MulticlassWorks) {
+  const Dataset data = blobs(60, 4.0, 3, 4);
+  GradientBoosting model(GradientBoostingParams{.n_rounds = 40});
+  model.fit(data);
+  EXPECT_GT(model.score(data), 0.95);
+  const auto probs = model.predict_proba({0.0, 0.0});
+  EXPECT_EQ(probs.size(), 4u);
+}
+
+TEST(GradientBoosting, ProbabilitiesSumToOne) {
+  const Dataset data = blobs(40, 2.0, 5);
+  GradientBoosting model(GradientBoostingParams{.n_rounds = 20});
+  model.fit(data);
+  const auto probs = model.predict_proba({1.0, -1.0});
+  double total = 0.0;
+  for (double p : probs) {
+    EXPECT_GE(p, 0.0);
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(GradientBoosting, MoreRoundsFitTighter) {
+  const Dataset data = blobs(100, 1.2, 7);  // overlapping
+  GradientBoosting few(
+      GradientBoostingParams{.n_rounds = 5, .learning_rate = 0.1, .seed = 9});
+  GradientBoosting many(
+      GradientBoostingParams{.n_rounds = 80, .learning_rate = 0.1, .seed = 9});
+  few.fit(data);
+  many.fit(data);
+  EXPECT_GE(many.score(data) + 1e-9, few.score(data));
+}
+
+TEST(GradientBoosting, DeterministicForSameSeed) {
+  const Dataset data = blobs(50, 1.5, 11);
+  GradientBoosting a(GradientBoostingParams{.n_rounds = 15, .seed = 42});
+  GradientBoosting b(GradientBoostingParams{.n_rounds = 15, .seed = 42});
+  a.fit(data);
+  b.fit(data);
+  Rng rng(13);
+  for (int i = 0; i < 50; ++i) {
+    const FeatureRow row{rng.uniform(-3, 5), rng.uniform(-3, 3)};
+    EXPECT_EQ(a.predict(row), b.predict(row));
+  }
+}
+
+TEST(GradientBoosting, SubsampleOneDisablesStochasticity) {
+  const Dataset data = blobs(50, 3.0, 15);
+  GradientBoosting model(
+      GradientBoostingParams{.n_rounds = 10, .subsample = 1.0});
+  model.fit(data);
+  EXPECT_GT(model.score(data), 0.95);
+}
+
+TEST(GradientBoosting, ThrowsOnBadInputs) {
+  GradientBoosting model;
+  EXPECT_THROW(model.fit(Dataset{}), std::invalid_argument);
+  EXPECT_THROW((void)model.predict({1.0, 2.0}), std::logic_error);
+  GradientBoosting zero(GradientBoostingParams{.n_rounds = 0});
+  EXPECT_THROW(zero.fit(blobs(5, 1.0, 17)), std::invalid_argument);
+  GradientBoosting fitted(GradientBoostingParams{.n_rounds = 3});
+  fitted.fit(blobs(10, 3.0, 19));
+  EXPECT_THROW((void)fitted.predict({1.0}), std::invalid_argument);
+}
+
+/// Property sweep: learning rates all converge on separable data.
+class GbtRateSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(GbtRateSweep, ConvergesAcrossLearningRates) {
+  const Dataset data = blobs(60, 3.0, 21);
+  GradientBoosting model(GradientBoostingParams{
+      .n_rounds = 60, .learning_rate = GetParam(), .seed = 22});
+  model.fit(data);
+  EXPECT_GT(model.score(data), 0.95) << "rate " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, GbtRateSweep,
+                         ::testing::Values(0.03, 0.1, 0.3, 0.6));
+
+}  // namespace
+}  // namespace cgctx::ml

@@ -1,0 +1,92 @@
+#include "ml/grid_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ml/knn.hpp"
+#include "ml/random_forest.hpp"
+
+namespace cgctx::ml {
+namespace {
+
+Dataset noisy_blobs(std::size_t per_class, std::uint64_t seed) {
+  Dataset data({"x", "y"}, {"a", "b"});
+  Rng rng(seed);
+  for (std::size_t i = 0; i < per_class; ++i) {
+    data.add({rng.normal(-1.2, 1.0), rng.normal(0.0, 1.0)}, 0);
+    data.add({rng.normal(1.2, 1.0), rng.normal(0.0, 1.0)}, 1);
+  }
+  return data;
+}
+
+GridCandidate knn_candidate(std::size_t k) {
+  return GridCandidate{"knn_k" + std::to_string(k), [k] {
+                         return std::make_unique<Knn>(KnnParams{.k = k});
+                       }};
+}
+
+TEST(CrossValScore, ReasonableOnLearnableData) {
+  const Dataset data = noisy_blobs(60, 1);
+  Rng rng(2);
+  const double score = cross_val_score(knn_candidate(5), data, 4, rng);
+  EXPECT_GT(score, 0.7);
+  EXPECT_LE(score, 1.0);
+}
+
+TEST(GridSearch, ScoresEveryCandidate) {
+  const Dataset data = noisy_blobs(50, 3);
+  Rng rng(4);
+  const std::vector<GridCandidate> grid = {
+      knn_candidate(1), knn_candidate(5), knn_candidate(15)};
+  const auto result = grid_search(grid, data, 4, rng);
+  ASSERT_EQ(result.scores.size(), 3u);
+  for (double s : result.scores) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+  EXPECT_LT(result.best_index, 3u);
+  EXPECT_DOUBLE_EQ(result.best_score(),
+                   *std::max_element(result.scores.begin(), result.scores.end()));
+}
+
+TEST(GridSearch, PrefersLargerKOnNoisyOverlap) {
+  // With heavily overlapping classes, k=1 overfits; a larger k should win
+  // or at least never be dominated decisively.
+  const Dataset data = noisy_blobs(150, 5);
+  Rng rng(6);
+  const auto result =
+      grid_search({knn_candidate(1), knn_candidate(25)}, data, 5, rng);
+  EXPECT_GE(result.scores[1], result.scores[0] - 0.02);
+}
+
+TEST(GridSearch, MixedModelFamiliesAreComparable) {
+  const Dataset data = noisy_blobs(60, 7);
+  Rng rng(8);
+  std::vector<GridCandidate> grid = {
+      knn_candidate(5),
+      {"rf_20", [] {
+         return std::make_unique<RandomForest>(
+             RandomForestParams{.n_trees = 20, .seed = 9});
+       }}};
+  const auto result = grid_search(grid, data, 4, rng);
+  EXPECT_EQ(result.scores.size(), 2u);
+}
+
+TEST(GridSearch, RejectsEmptyGrid) {
+  const Dataset data = noisy_blobs(10, 10);
+  Rng rng(11);
+  EXPECT_THROW(grid_search({}, data, 3, rng), std::invalid_argument);
+}
+
+TEST(GridSearch, DeterministicGivenSeed) {
+  const Dataset data = noisy_blobs(40, 12);
+  const std::vector<GridCandidate> grid = {knn_candidate(3), knn_candidate(9)};
+  Rng rng_a(13);
+  Rng rng_b(13);
+  const auto a = grid_search(grid, data, 4, rng_a);
+  const auto b = grid_search(grid, data, 4, rng_b);
+  EXPECT_EQ(a.scores, b.scores);
+  EXPECT_EQ(a.best_index, b.best_index);
+}
+
+}  // namespace
+}  // namespace cgctx::ml

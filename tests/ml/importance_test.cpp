@@ -1,0 +1,69 @@
+#include "ml/importance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ml/random_forest.hpp"
+
+namespace cgctx::ml {
+namespace {
+
+/// Class depends only on feature 0; features 1 and 2 are pure noise.
+Dataset one_informative_feature(std::size_t n, std::uint64_t seed) {
+  Dataset data({"signal", "noise1", "noise2"}, {"a", "b"});
+  Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Label label = static_cast<Label>(i % 2);
+    data.add({label == 0 ? rng.normal(-3.0, 0.5) : rng.normal(3.0, 0.5),
+              rng.normal(0.0, 1.0), rng.normal(0.0, 1.0)},
+             label);
+  }
+  return data;
+}
+
+TEST(PermutationImportance, SignalFeatureDominates) {
+  const Dataset data = one_informative_feature(300, 1);
+  RandomForest forest(RandomForestParams{.n_trees = 30, .seed = 2});
+  forest.fit(data);
+  Rng rng(3);
+  const auto result = permutation_importance(forest, data, 5, rng);
+  ASSERT_EQ(result.mean_drop.size(), 3u);
+  EXPECT_GT(result.baseline_accuracy, 0.98);
+  EXPECT_GT(result.mean_drop[0], 0.3);
+  EXPECT_LT(std::abs(result.mean_drop[1]), 0.05);
+  EXPECT_LT(std::abs(result.mean_drop[2]), 0.05);
+}
+
+TEST(PermutationImportance, RestoresDataAfterwards) {
+  Dataset data = one_informative_feature(100, 4);
+  const Dataset snapshot = data;
+  RandomForest forest(RandomForestParams{.n_trees = 10, .seed = 5});
+  forest.fit(data);
+  Rng rng(6);
+  permutation_importance(forest, data, 3, rng);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    EXPECT_EQ(data.row(i), snapshot.row(i));
+}
+
+TEST(PermutationImportance, StddevReportedPerFeature) {
+  const Dataset data = one_informative_feature(150, 7);
+  RandomForest forest(RandomForestParams{.n_trees = 15, .seed = 8});
+  forest.fit(data);
+  Rng rng(9);
+  const auto result = permutation_importance(forest, data, 4, rng);
+  ASSERT_EQ(result.stddev.size(), 3u);
+  for (double s : result.stddev) EXPECT_GE(s, 0.0);
+}
+
+TEST(PermutationImportance, RejectsBadArguments) {
+  const Dataset data = one_informative_feature(50, 10);
+  RandomForest forest(RandomForestParams{.n_trees = 5, .seed = 11});
+  forest.fit(data);
+  Rng rng(12);
+  EXPECT_THROW(permutation_importance(forest, Dataset{}, 3, rng),
+               std::invalid_argument);
+  EXPECT_THROW(permutation_importance(forest, data, 0, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cgctx::ml

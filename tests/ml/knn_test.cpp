@@ -1,0 +1,125 @@
+#include "ml/knn.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cgctx::ml {
+namespace {
+
+Dataset grid_data() {
+  // Class 0 clustered near origin, class 1 near (10, 10).
+  Dataset data({"x", "y"}, {"near", "far"});
+  Rng rng(1);
+  for (int i = 0; i < 30; ++i) {
+    data.add({rng.normal(0.0, 1.0), rng.normal(0.0, 1.0)}, 0);
+    data.add({rng.normal(10.0, 1.0), rng.normal(10.0, 1.0)}, 1);
+  }
+  return data;
+}
+
+TEST(Knn, ClassifiesByProximity) {
+  Knn knn(KnnParams{.k = 5});
+  knn.fit(grid_data());
+  EXPECT_EQ(knn.predict({0.5, -0.5}), 0);
+  EXPECT_EQ(knn.predict({9.0, 11.0}), 1);
+}
+
+TEST(Knn, KOneMatchesNearestNeighbor) {
+  Dataset data({"x"}, {"a", "b"});
+  data.add({0.0}, 0);
+  data.add({10.0}, 1);
+  Knn knn(KnnParams{.k = 1});
+  knn.fit(data);
+  EXPECT_EQ(knn.predict({4.9}), 0);
+  EXPECT_EQ(knn.predict({5.1}), 1);
+}
+
+TEST(Knn, KLargerThanDatasetIsClamped) {
+  Dataset data({"x"}, {"a", "b"});
+  data.add({0.0}, 0);
+  data.add({1.0}, 0);
+  data.add({10.0}, 1);
+  Knn knn(KnnParams{.k = 100});
+  knn.fit(data);
+  // Majority of the whole (clamped) set is class 0.
+  EXPECT_EQ(knn.predict({0.0}), 0);
+}
+
+TEST(Knn, ProbabilitiesAreVoteFractions) {
+  Dataset data({"x"}, {"a", "b"});
+  data.add({0.0}, 0);
+  data.add({1.0}, 0);
+  data.add({2.0}, 1);
+  Knn knn(KnnParams{.k = 3});
+  knn.fit(data);
+  const auto probs = knn.predict_proba({0.5});
+  EXPECT_NEAR(probs[0], 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(probs[1], 1.0 / 3.0, 1e-12);
+}
+
+TEST(Knn, DistanceWeightingBreaksTiesTowardCloser) {
+  Dataset data({"x"}, {"a", "b"});
+  data.add({0.0}, 0);
+  data.add({10.0}, 1);
+  Knn knn(KnnParams{.k = 2, .distance_weighted = true});
+  knn.fit(data);
+  // Uniform voting would tie (argmax picks first class); weighting makes
+  // the closer class win decisively on both sides.
+  EXPECT_EQ(knn.predict({1.0}), 0);
+  EXPECT_EQ(knn.predict({9.0}), 1);
+  const auto probs = knn.predict_proba({9.0});
+  EXPECT_GT(probs[1], 0.8);
+}
+
+TEST(Knn, MetricsDiffer) {
+  const FeatureRow a{0.0, 0.0};
+  const FeatureRow b{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(distance(a, b, DistanceMetric::kEuclidean), 5.0);
+  EXPECT_DOUBLE_EQ(distance(a, b, DistanceMetric::kManhattan), 7.0);
+  EXPECT_DOUBLE_EQ(distance(a, b, DistanceMetric::kChebyshev), 4.0);
+}
+
+TEST(Knn, DistanceThrowsOnWidthMismatch) {
+  EXPECT_THROW(distance({1.0}, {1.0, 2.0}, DistanceMetric::kEuclidean),
+               std::invalid_argument);
+}
+
+TEST(Knn, ThrowsOnEmptyFitAndZeroK) {
+  Knn knn;
+  EXPECT_THROW(knn.fit(Dataset{}), std::invalid_argument);
+  Knn zero(KnnParams{.k = 0});
+  EXPECT_THROW(zero.fit(grid_data()), std::invalid_argument);
+}
+
+TEST(Knn, ThrowsOnPredictBeforeFit) {
+  Knn knn;
+  EXPECT_THROW((void)knn.predict({0.0, 0.0}), std::logic_error);
+}
+
+TEST(Knn, MetricNamesForReports) {
+  EXPECT_STREQ(to_string(DistanceMetric::kEuclidean), "euclidean");
+  EXPECT_STREQ(to_string(DistanceMetric::kManhattan), "manhattan");
+  EXPECT_STREQ(to_string(DistanceMetric::kChebyshev), "chebyshev");
+}
+
+/// Property sweep: accuracy on clean blobs is high for every k and metric.
+class KnnSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, DistanceMetric>> {
+};
+
+TEST_P(KnnSweep, SeparableBlobsClassifyCleanly) {
+  const auto [k, metric] = GetParam();
+  Knn knn(KnnParams{.k = k, .metric = metric});
+  const Dataset data = grid_data();
+  knn.fit(data);
+  EXPECT_GT(knn.score(data), 0.95);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KnnSweep,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 3, 7, 15),
+                       ::testing::Values(DistanceMetric::kEuclidean,
+                                         DistanceMetric::kManhattan,
+                                         DistanceMetric::kChebyshev)));
+
+}  // namespace
+}  // namespace cgctx::ml

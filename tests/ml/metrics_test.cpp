@@ -1,0 +1,93 @@
+#include "ml/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ml/knn.hpp"
+
+namespace cgctx::ml {
+namespace {
+
+ConfusionMatrix example_matrix() {
+  // truth 0: 8 correct, 2 as class 1; truth 1: 5 correct, 5 as class 0.
+  ConfusionMatrix cm(2);
+  for (int i = 0; i < 8; ++i) cm.add(0, 0);
+  for (int i = 0; i < 2; ++i) cm.add(0, 1);
+  for (int i = 0; i < 5; ++i) cm.add(1, 1);
+  for (int i = 0; i < 5; ++i) cm.add(1, 0);
+  return cm;
+}
+
+TEST(ConfusionMatrix, CountsAndTotal) {
+  const ConfusionMatrix cm = example_matrix();
+  EXPECT_EQ(cm.count(0, 0), 8u);
+  EXPECT_EQ(cm.count(0, 1), 2u);
+  EXPECT_EQ(cm.count(1, 0), 5u);
+  EXPECT_EQ(cm.count(1, 1), 5u);
+  EXPECT_EQ(cm.total(), 20u);
+}
+
+TEST(ConfusionMatrix, Accuracy) {
+  EXPECT_DOUBLE_EQ(example_matrix().accuracy(), 13.0 / 20.0);
+}
+
+TEST(ConfusionMatrix, PerClassRecallPrecisionF1) {
+  const ConfusionMatrix cm = example_matrix();
+  EXPECT_DOUBLE_EQ(cm.recall(0), 0.8);
+  EXPECT_DOUBLE_EQ(cm.recall(1), 0.5);
+  EXPECT_DOUBLE_EQ(cm.per_class_accuracy(0), cm.recall(0));
+  EXPECT_DOUBLE_EQ(cm.precision(0), 8.0 / 13.0);
+  EXPECT_DOUBLE_EQ(cm.precision(1), 5.0 / 7.0);
+  const double p0 = 8.0 / 13.0;
+  const double r0 = 0.8;
+  EXPECT_DOUBLE_EQ(cm.f1(0), 2 * p0 * r0 / (p0 + r0));
+}
+
+TEST(ConfusionMatrix, MacroF1IsMeanOfPerClass) {
+  const ConfusionMatrix cm = example_matrix();
+  EXPECT_NEAR(cm.macro_f1(), (cm.f1(0) + cm.f1(1)) / 2.0, 1e-12);
+}
+
+TEST(ConfusionMatrix, EmptyMatrixIsZeroEverywhere) {
+  const ConfusionMatrix cm(3);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.recall(0), 0.0);
+  EXPECT_DOUBLE_EQ(cm.precision(1), 0.0);
+  EXPECT_DOUBLE_EQ(cm.f1(2), 0.0);
+}
+
+TEST(ConfusionMatrix, RejectsOutOfRangeLabels) {
+  ConfusionMatrix cm(2);
+  EXPECT_THROW(cm.add(2, 0), std::invalid_argument);
+  EXPECT_THROW(cm.add(0, -1), std::invalid_argument);
+}
+
+TEST(ConfusionMatrix, ToStringContainsClassNames) {
+  const auto text = example_matrix().to_string({"cats", "dogs"});
+  EXPECT_NE(text.find("cats"), std::string::npos);
+  EXPECT_NE(text.find("dogs"), std::string::npos);
+}
+
+TEST(Evaluate, TalliesClassifierPredictions) {
+  Dataset data({"x"}, {"lo", "hi"});
+  for (int i = 0; i < 10; ++i) data.add({static_cast<double>(i)}, i < 5 ? 0 : 1);
+  Knn knn(KnnParams{.k = 1});
+  knn.fit(data);
+  const ConfusionMatrix cm = evaluate(knn, data);
+  EXPECT_EQ(cm.total(), 10u);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 1.0);  // 1-NN memorizes its training set
+}
+
+TEST(ClassifierScore, MatchesConfusionAccuracy) {
+  Dataset data({"x"}, {"lo", "hi"});
+  Rng rng(3);
+  for (int i = 0; i < 40; ++i) {
+    const double x = rng.uniform(0.0, 10.0);
+    data.add({x}, x < 5.0 ? 0 : 1);
+  }
+  Knn knn(KnnParams{.k = 3});
+  knn.fit(data);
+  EXPECT_DOUBLE_EQ(knn.score(data), evaluate(knn, data).accuracy());
+}
+
+}  // namespace
+}  // namespace cgctx::ml

@@ -1,0 +1,155 @@
+#include "ml/random_forest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cgctx::ml {
+namespace {
+
+Dataset blobs(std::size_t per_class, double separation, std::uint64_t seed,
+              std::size_t classes = 2) {
+  std::vector<std::string> names;
+  for (std::size_t c = 0; c < classes; ++c)
+    names.push_back("c" + std::to_string(c));
+  Dataset data({"x", "y"}, names);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < per_class; ++i)
+    for (std::size_t c = 0; c < classes; ++c)
+      data.add({rng.normal(separation * static_cast<double>(c), 1.0),
+                rng.normal(0.0, 1.0)},
+               static_cast<Label>(c));
+  return data;
+}
+
+TEST(RandomForest, FitsSeparableData) {
+  const Dataset data = blobs(100, 5.0, 1);
+  RandomForest forest(RandomForestParams{.n_trees = 30, .seed = 2});
+  forest.fit(data);
+  EXPECT_GT(forest.score(data), 0.99);
+  EXPECT_EQ(forest.tree_count(), 30u);
+}
+
+TEST(RandomForest, MulticlassWorks) {
+  const Dataset data = blobs(60, 5.0, 3, 4);
+  RandomForest forest(RandomForestParams{.n_trees = 40, .seed = 4});
+  forest.fit(data);
+  EXPECT_GT(forest.score(data), 0.95);
+  const auto probs = forest.predict_proba({0.0, 0.0});
+  EXPECT_EQ(probs.size(), 4u);
+}
+
+TEST(RandomForest, ProbabilitiesSumToOne) {
+  const Dataset data = blobs(50, 2.0, 5);
+  RandomForest forest(RandomForestParams{.n_trees = 20, .seed = 6});
+  forest.fit(data);
+  const auto probs = forest.predict_proba({1.0, 0.5});
+  double total = 0.0;
+  for (double p : probs) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(RandomForest, ConfidenceHighAwayFromBoundary) {
+  const Dataset data = blobs(200, 6.0, 7);
+  RandomForest forest(RandomForestParams{.n_trees = 50, .seed = 8});
+  forest.fit(data);
+  const auto sure = forest.predict_with_confidence({6.0, 0.0});
+  EXPECT_EQ(sure.label, 1);
+  EXPECT_GT(sure.confidence, 0.9);
+  const auto unsure = forest.predict_with_confidence({3.0, 0.0});
+  EXPECT_LT(unsure.confidence, sure.confidence + 1e-9);
+}
+
+TEST(RandomForest, OobScoreTracksGeneralization) {
+  const Dataset data = blobs(150, 3.0, 9);
+  RandomForest forest(RandomForestParams{.n_trees = 60, .seed = 10});
+  forest.fit(data);
+  const double oob = forest.oob_score();
+  EXPECT_FALSE(std::isnan(oob));
+  EXPECT_GT(oob, 0.85);
+  EXPECT_LE(oob, 1.0);
+}
+
+TEST(RandomForest, NoBootstrapHasNoOobScore) {
+  const Dataset data = blobs(50, 3.0, 11);
+  RandomForest forest(
+      RandomForestParams{.n_trees = 10, .bootstrap = false, .seed = 12});
+  forest.fit(data);
+  EXPECT_TRUE(std::isnan(forest.oob_score()));
+}
+
+TEST(RandomForest, DeterministicForSameSeed) {
+  const Dataset data = blobs(60, 1.5, 13);
+  RandomForest a(RandomForestParams{.n_trees = 15, .seed = 99});
+  RandomForest b(RandomForestParams{.n_trees = 15, .seed = 99});
+  a.fit(data);
+  b.fit(data);
+  Rng rng(100);
+  for (int i = 0; i < 50; ++i) {
+    const FeatureRow row{rng.uniform(-4, 7), rng.uniform(-3, 3)};
+    EXPECT_EQ(a.predict(row), b.predict(row));
+  }
+}
+
+TEST(RandomForest, DifferentSeedsDifferentForests) {
+  const Dataset data = blobs(60, 1.0, 15);  // heavy overlap
+  RandomForest a(RandomForestParams{.n_trees = 5, .seed = 1});
+  RandomForest b(RandomForestParams{.n_trees = 5, .seed = 2});
+  a.fit(data);
+  b.fit(data);
+  Rng rng(101);
+  int disagreements = 0;
+  for (int i = 0; i < 200; ++i) {
+    const FeatureRow row{rng.uniform(-3, 4), rng.uniform(-3, 3)};
+    if (a.predict(row) != b.predict(row)) ++disagreements;
+  }
+  EXPECT_GT(disagreements, 0);
+}
+
+TEST(RandomForest, ThrowsOnEmptyFitAndZeroTrees) {
+  RandomForest forest;
+  EXPECT_THROW(forest.fit(Dataset{}), std::invalid_argument);
+  RandomForest none(RandomForestParams{.n_trees = 0});
+  EXPECT_THROW(none.fit(blobs(5, 1.0, 17)), std::invalid_argument);
+}
+
+TEST(RandomForest, ThrowsOnPredictBeforeFit) {
+  RandomForest forest;
+  EXPECT_THROW((void)forest.predict({1.0, 2.0}), std::logic_error);
+}
+
+TEST(RandomForest, SerializeRoundTripPredictsIdentically) {
+  const Dataset data = blobs(60, 2.0, 19);
+  RandomForest forest(RandomForestParams{.n_trees = 12, .seed = 20});
+  forest.fit(data);
+  const RandomForest copy = RandomForest::deserialize(forest.serialize());
+  EXPECT_EQ(copy.tree_count(), forest.tree_count());
+  Rng rng(21);
+  for (int i = 0; i < 100; ++i) {
+    const FeatureRow row{rng.uniform(-4, 6), rng.uniform(-3, 3)};
+    const auto pa = forest.predict_proba(row);
+    const auto pb = copy.predict_proba(row);
+    for (std::size_t c = 0; c < pa.size(); ++c) EXPECT_DOUBLE_EQ(pa[c], pb[c]);
+  }
+}
+
+TEST(RandomForest, DeserializeRejectsGarbage) {
+  EXPECT_THROW(RandomForest::deserialize("woods 3 2"), std::invalid_argument);
+}
+
+/// Property sweep: more trees should not hurt OOB accuracy much; ensemble
+/// is at least as good as a small one on noisy data.
+class ForestSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ForestSizeSweep, OobReasonableAcrossSizes) {
+  const Dataset data = blobs(120, 2.5, 23);
+  RandomForest forest(RandomForestParams{.n_trees = GetParam(), .seed = 24});
+  forest.fit(data);
+  EXPECT_GT(forest.oob_score(), 0.8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ForestSizeSweep,
+                         ::testing::Values(5, 10, 25, 50, 100));
+
+}  // namespace
+}  // namespace cgctx::ml

@@ -1,0 +1,123 @@
+#include "ml/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace cgctx::ml {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(9);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowCoversAllValues) {
+  Rng rng(11);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 10000; ++i) ++counts[rng.next_below(10)];
+  for (int c : counts) EXPECT_GT(c, 800);  // roughly uniform
+}
+
+TEST(Rng, UniformWithinRange) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-3.5, 8.25);
+    EXPECT_GE(v, -3.5);
+    EXPECT_LT(v, 8.25);
+  }
+}
+
+TEST(Rng, NormalHasExpectedMoments) {
+  Rng rng(17);
+  const int n = 200000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Rng, ScaledNormal) {
+  Rng rng(19);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Rng, ChanceMatchesProbability) {
+  Rng rng(23);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i)
+    if (rng.chance(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(31);
+  Rng fork = a.fork();
+  // The fork must not replay the parent's stream.
+  Rng b(31);
+  b.next_u64();  // parent consumed one draw to fork
+  int same = 0;
+  for (int i = 0; i < 50; ++i)
+    if (fork.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Shuffle, PermutesAllElements) {
+  Rng rng(37);
+  std::vector<int> values(100);
+  for (int i = 0; i < 100; ++i) values[static_cast<std::size_t>(i)] = i;
+  auto shuffled = values;
+  shuffle(shuffled, rng);
+  EXPECT_NE(shuffled, values);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, values);
+}
+
+TEST(Shuffle, SingleElementIsNoop) {
+  Rng rng(41);
+  std::vector<int> one = {5};
+  shuffle(one, rng);
+  EXPECT_EQ(one[0], 5);
+}
+
+}  // namespace
+}  // namespace cgctx::ml

@@ -1,0 +1,66 @@
+#include "net/packet.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cgctx::net {
+namespace {
+
+TEST(Ipv4Addr, FromOctetsAndToString) {
+  const auto addr = Ipv4Addr::from_octets(192, 168, 1, 42);
+  EXPECT_EQ(addr.value, 0xc0a8012au);
+  EXPECT_EQ(to_string(addr), "192.168.1.42");
+}
+
+TEST(Ipv4Addr, ParseRoundTrip) {
+  for (const std::string text :
+       {"0.0.0.0", "255.255.255.255", "10.1.2.3", "119.81.4.250"}) {
+    const auto parsed = parse_ipv4(text);
+    ASSERT_TRUE(parsed.has_value()) << text;
+    EXPECT_EQ(to_string(*parsed), text);
+  }
+}
+
+TEST(Ipv4Addr, ParseRejectsMalformed) {
+  for (const std::string text :
+       {"", "1.2.3", "1.2.3.4.5", "256.1.1.1", "a.b.c.d", "1..2.3", "1.2.3.4 "}) {
+    EXPECT_FALSE(parse_ipv4(text).has_value()) << text;
+  }
+}
+
+TEST(FiveTuple, ReversedSwapsEndpoints) {
+  const FiveTuple t{Ipv4Addr{1}, Ipv4Addr{2}, 1000, 2000, 17};
+  const FiveTuple r = t.reversed();
+  EXPECT_EQ(r.src_ip.value, 2u);
+  EXPECT_EQ(r.dst_ip.value, 1u);
+  EXPECT_EQ(r.src_port, 2000);
+  EXPECT_EQ(r.dst_port, 1000);
+  EXPECT_EQ(r.protocol, 17);
+}
+
+TEST(FiveTuple, CanonicalIsOrientationInvariant) {
+  const FiveTuple t{Ipv4Addr{7}, Ipv4Addr{3}, 555, 444, 17};
+  EXPECT_EQ(t.canonical(), t.reversed().canonical());
+  // Canonical of a canonical tuple is itself.
+  EXPECT_EQ(t.canonical().canonical(), t.canonical());
+}
+
+TEST(FiveTuple, OrderingIsTotal) {
+  const FiveTuple a{Ipv4Addr{1}, Ipv4Addr{2}, 10, 20, 17};
+  const FiveTuple b{Ipv4Addr{1}, Ipv4Addr{2}, 10, 21, 17};
+  EXPECT_LT(a, b);
+  EXPECT_NE(a, b);
+}
+
+TEST(PacketRecord, IpLengthAddsHeaders) {
+  PacketRecord pkt;
+  pkt.payload_size = 1432;
+  EXPECT_EQ(pkt.ip_length(), 1432u + 28u);
+}
+
+TEST(Direction, ToString) {
+  EXPECT_STREQ(to_string(Direction::kUpstream), "up");
+  EXPECT_STREQ(to_string(Direction::kDownstream), "down");
+}
+
+}  // namespace
+}  // namespace cgctx::net

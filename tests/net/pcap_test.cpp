@@ -1,0 +1,150 @@
+#include "net/pcap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "net/framing.hpp"
+
+namespace cgctx::net {
+namespace {
+
+class PcapTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            ("cgctx_pcap_test_" +
+             std::to_string(::testing::UnitTest::GetInstance()
+                                ->random_seed()) +
+             "_" + ::testing::UnitTest::GetInstance()
+                       ->current_test_info()
+                       ->name() +
+             ".pcap");
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove(path_, ec);
+  }
+  std::filesystem::path path_;
+};
+
+PacketRecord make_record(Timestamp t, Direction dir, std::uint32_t payload,
+                         std::uint16_t seq) {
+  PacketRecord pkt;
+  pkt.timestamp = t;
+  pkt.direction = dir;
+  pkt.payload_size = payload;
+  const FiveTuple up{Ipv4Addr::from_octets(10, 0, 0, 5),
+                     Ipv4Addr::from_octets(119, 81, 1, 9), 50123, 49004, 17};
+  pkt.tuple = dir == Direction::kUpstream ? up : up.reversed();
+  pkt.rtp = RtpHeader{.payload_type = 98, .marker = seq % 5 == 0,
+                      .sequence = seq, .rtp_timestamp = seq * 1500u,
+                      .ssrc = 0xabcd0123};
+  return pkt;
+}
+
+TEST_F(PcapTest, WriteReadRoundTripPreservesRecords) {
+  std::vector<PacketRecord> packets;
+  for (int i = 0; i < 50; ++i)
+    packets.push_back(make_record(
+        static_cast<Timestamp>(i) * 20 * kNanosPerMilli,
+        i % 3 == 0 ? Direction::kUpstream : Direction::kDownstream,
+        static_cast<std::uint32_t>(100 + i * 13), static_cast<std::uint16_t>(i)));
+
+  EXPECT_EQ(write_pcap(path_, packets), packets.size());
+  const auto loaded = read_pcap(path_, Ipv4Addr::from_octets(10, 0, 0, 5));
+  ASSERT_EQ(loaded.size(), packets.size());
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    EXPECT_EQ(loaded[i].timestamp, packets[i].timestamp);
+    EXPECT_EQ(loaded[i].direction, packets[i].direction);
+    EXPECT_EQ(loaded[i].payload_size, packets[i].payload_size);
+    EXPECT_EQ(loaded[i].tuple, packets[i].tuple);
+    ASSERT_TRUE(loaded[i].rtp.has_value());
+    EXPECT_EQ(loaded[i].rtp->sequence, packets[i].rtp->sequence);
+    EXPECT_EQ(loaded[i].rtp->marker, packets[i].rtp->marker);
+  }
+}
+
+TEST_F(PcapTest, NanosecondTimestampsSurvive) {
+  std::vector<PacketRecord> packets = {
+      make_record(1'234'567'891'234'567, Direction::kDownstream, 500, 1)};
+  write_pcap(path_, packets);
+  const auto loaded = read_pcap(path_, Ipv4Addr::from_octets(10, 0, 0, 5));
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded[0].timestamp, 1'234'567'891'234'567);
+}
+
+TEST_F(PcapTest, ReaderRejectsGarbageFile) {
+  std::ofstream out(path_, std::ios::binary);
+  out << "this is not a pcap file at all, not even close";
+  out.close();
+  EXPECT_THROW(PcapReader reader(path_), std::runtime_error);
+}
+
+TEST_F(PcapTest, ReaderRejectsMissingFile) {
+  EXPECT_THROW(PcapReader reader(path_ / "nope"), std::runtime_error);
+}
+
+TEST_F(PcapTest, ReaderThrowsOnTruncatedRecord) {
+  std::vector<PacketRecord> packets = {
+      make_record(0, Direction::kDownstream, 500, 1)};
+  write_pcap(path_, packets);
+  // Chop the last 10 bytes off the record body.
+  const auto size = std::filesystem::file_size(path_);
+  std::filesystem::resize_file(path_, size - 10);
+  PcapReader reader(path_);
+  EXPECT_THROW(reader.next(), std::runtime_error);
+}
+
+TEST_F(PcapTest, SnaplenTruncatesButRecordsOriginalLength) {
+  PcapWriter writer(path_, /*snaplen=*/60);
+  CapturedFrame frame;
+  frame.timestamp = 42;
+  frame.bytes.assign(500, 0xaa);
+  writer.write(frame);
+  writer.close();
+
+  PcapReader reader(path_);
+  const auto loaded = reader.next();
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->bytes.size(), 60u);
+  EXPECT_EQ(loaded->original_length, 500u);
+  EXPECT_FALSE(reader.next().has_value());
+}
+
+TEST_F(PcapTest, ReadPcapSkipsUndecodableFrames) {
+  PcapWriter writer(path_);
+  // A junk frame followed by a valid one.
+  CapturedFrame junk;
+  junk.timestamp = 1;
+  junk.bytes.assign(40, 0x00);
+  writer.write(junk);
+  const auto good = make_record(2, Direction::kDownstream, 64, 9);
+  CapturedFrame frame;
+  frame.timestamp = good.timestamp;
+  frame.bytes = encode_udp_frame(good.tuple, build_payload(good));
+  writer.write(frame);
+  writer.close();
+
+  const auto loaded = read_pcap(path_, Ipv4Addr::from_octets(10, 0, 0, 5));
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded[0].rtp->sequence, 9);
+}
+
+TEST_F(PcapTest, EmptyCaptureReadsBackEmpty) {
+  write_pcap(path_, {});
+  EXPECT_TRUE(read_pcap(path_, Ipv4Addr{0}).empty());
+}
+
+TEST_F(PcapTest, WriterFrameCountMatches) {
+  PcapWriter writer(path_);
+  CapturedFrame frame;
+  frame.bytes.assign(60, 1);
+  for (int i = 0; i < 7; ++i) writer.write(frame);
+  EXPECT_EQ(writer.frames_written(), 7u);
+}
+
+}  // namespace
+}  // namespace cgctx::net

@@ -1,0 +1,145 @@
+#include "net/pcapng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "net/framing.hpp"
+
+namespace cgctx::net {
+namespace {
+
+class PcapngTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            (std::string("cgctx_pcapng_") +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+             ".pcapng");
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove(path_, ec);
+  }
+  std::filesystem::path path_;
+};
+
+PacketRecord make_record(Timestamp t, Direction dir, std::uint32_t payload,
+                         std::uint16_t seq) {
+  PacketRecord pkt;
+  pkt.timestamp = t;
+  pkt.direction = dir;
+  pkt.payload_size = payload;
+  const FiveTuple up{Ipv4Addr::from_octets(10, 0, 0, 5),
+                     Ipv4Addr::from_octets(119, 81, 1, 9), 50123, 49004, 17};
+  pkt.tuple = dir == Direction::kUpstream ? up : up.reversed();
+  pkt.rtp = RtpHeader{.payload_type = 98, .marker = seq % 4 == 0,
+                      .sequence = seq, .rtp_timestamp = seq * 100u,
+                      .ssrc = 0x99aa};
+  return pkt;
+}
+
+TEST_F(PcapngTest, RoundTripPreservesRecords) {
+  std::vector<PacketRecord> packets;
+  for (int i = 0; i < 40; ++i)
+    packets.push_back(make_record(
+        static_cast<Timestamp>(i) * 33 * kNanosPerMilli + 7,
+        i % 4 == 0 ? Direction::kUpstream : Direction::kDownstream,
+        static_cast<std::uint32_t>(64 + i * 31), static_cast<std::uint16_t>(i)));
+  EXPECT_EQ(write_pcapng(path_, packets), packets.size());
+
+  const auto loaded = read_pcapng(path_, Ipv4Addr::from_octets(10, 0, 0, 5));
+  ASSERT_EQ(loaded.size(), packets.size());
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    EXPECT_EQ(loaded[i].timestamp, packets[i].timestamp);
+    EXPECT_EQ(loaded[i].direction, packets[i].direction);
+    EXPECT_EQ(loaded[i].payload_size, packets[i].payload_size);
+    ASSERT_TRUE(loaded[i].rtp.has_value());
+    EXPECT_EQ(loaded[i].rtp->sequence, packets[i].rtp->sequence);
+  }
+}
+
+TEST_F(PcapngTest, NanosecondTimestampsSurvive) {
+  const std::vector<PacketRecord> packets = {
+      make_record(9'876'543'210'123'456, Direction::kDownstream, 500, 1)};
+  write_pcapng(path_, packets);
+  const auto loaded = read_pcapng(path_, Ipv4Addr::from_octets(10, 0, 0, 5));
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded[0].timestamp, 9'876'543'210'123'456);
+}
+
+TEST_F(PcapngTest, RejectsClassicPcapFile) {
+  // A classic pcap file starts with a different magic.
+  const std::vector<PacketRecord> one = {
+      make_record(0, Direction::kDownstream, 100, 1)};
+  write_pcap(path_, one);
+  EXPECT_THROW(PcapngReader reader(path_), std::runtime_error);
+}
+
+TEST_F(PcapngTest, RejectsGarbage) {
+  std::ofstream out(path_, std::ios::binary);
+  out << "definitely not pcapng data, just some text";
+  out.close();
+  EXPECT_THROW(PcapngReader reader(path_), std::runtime_error);
+}
+
+TEST_F(PcapngTest, SkipsUnknownBlocks) {
+  const std::vector<PacketRecord> one = {
+      make_record(5, Direction::kDownstream, 80, 3)};
+  write_pcapng(path_, one);
+  // Append an unknown block type (e.g. a Name Resolution Block, 0x04)
+  // followed by another valid capture section is overkill; instead,
+  // prepend-style injection: append an unknown block and a second EPB by
+  // rewriting through the writer API is not possible, so just verify the
+  // reader tolerates a trailing unknown block.
+  {
+    std::ofstream out(path_, std::ios::binary | std::ios::app);
+    const std::uint32_t type = 0x00000004;
+    const std::uint32_t length = 16;  // 12 header/trailer + 4 body
+    const std::uint32_t body = 0xdeadbeef;
+    out.write(reinterpret_cast<const char*>(&type), 4);
+    out.write(reinterpret_cast<const char*>(&length), 4);
+    out.write(reinterpret_cast<const char*>(&body), 4);
+    out.write(reinterpret_cast<const char*>(&length), 4);
+  }
+  PcapngReader reader(path_);
+  EXPECT_TRUE(reader.next().has_value());
+  EXPECT_FALSE(reader.next().has_value());  // unknown block skipped, EOF
+}
+
+TEST_F(PcapngTest, ThrowsOnCorruptTrailer) {
+  const std::vector<PacketRecord> one = {
+      make_record(0, Direction::kDownstream, 100, 1)};
+  write_pcapng(path_, one);
+  // Corrupt the final 4 bytes (the EPB's trailing length).
+  std::fstream f(path_, std::ios::binary | std::ios::in | std::ios::out);
+  f.seekp(-4, std::ios::end);
+  const std::uint32_t junk = 0x12345678;
+  f.write(reinterpret_cast<const char*>(&junk), 4);
+  f.close();
+  PcapngReader reader(path_);
+  EXPECT_THROW((void)reader.next(), std::runtime_error);
+}
+
+TEST_F(PcapngTest, SnaplenTruncates) {
+  PcapngWriter writer(path_, /*snaplen=*/64);
+  CapturedFrame frame;
+  frame.timestamp = 1;
+  frame.bytes.assign(400, 0xbb);
+  writer.write(frame);
+  writer.close();
+  PcapngReader reader(path_);
+  const auto loaded = reader.next();
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->bytes.size(), 64u);
+  EXPECT_EQ(loaded->original_length, 400u);
+}
+
+TEST_F(PcapngTest, EmptyCapture) {
+  write_pcapng(path_, {});
+  EXPECT_TRUE(read_pcapng(path_, Ipv4Addr{0}).empty());
+}
+
+}  // namespace
+}  // namespace cgctx::net

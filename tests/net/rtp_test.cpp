@@ -1,0 +1,88 @@
+#include "net/rtp.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cgctx::net {
+namespace {
+
+TEST(Rtp, SerializeParsesBack) {
+  RtpHeader h;
+  h.payload_type = 98;
+  h.marker = true;
+  h.sequence = 0xbeef;
+  h.rtp_timestamp = 0x12345678;
+  h.ssrc = 0xcafebabe;
+  const auto bytes = h.serialize();
+  ASSERT_EQ(bytes.size(), RtpHeader::kWireSize);
+  const auto parsed = parse_rtp(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->payload_type, 98);
+  EXPECT_TRUE(parsed->marker);
+  EXPECT_EQ(parsed->sequence, 0xbeef);
+  EXPECT_EQ(parsed->rtp_timestamp, 0x12345678u);
+  EXPECT_EQ(parsed->ssrc, 0xcafebabeu);
+}
+
+TEST(Rtp, MarkerBitIndependentOfPayloadType) {
+  RtpHeader h;
+  h.payload_type = 0x7f;
+  h.marker = false;
+  const auto parsed = parse_rtp(h.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_FALSE(parsed->marker);
+  EXPECT_EQ(parsed->payload_type, 0x7f);
+}
+
+TEST(Rtp, RejectsShortBuffer) {
+  const std::uint8_t bytes[] = {0x80, 0x60, 0x00};
+  EXPECT_FALSE(parse_rtp(bytes).has_value());
+}
+
+TEST(Rtp, RejectsWrongVersion) {
+  auto bytes = RtpHeader{}.serialize();
+  bytes[0] = 0x40;  // version 1
+  EXPECT_FALSE(parse_rtp(bytes).has_value());
+}
+
+TEST(Rtp, RejectsPaddingExtensionCsrc) {
+  for (const std::uint8_t first : {0xa0, 0x90, 0x83}) {
+    auto bytes = RtpHeader{}.serialize();
+    bytes[0] = first;
+    EXPECT_FALSE(parse_rtp(bytes).has_value()) << static_cast<int>(first);
+  }
+}
+
+TEST(Rtp, ParsesWithTrailingPayload) {
+  auto bytes = RtpHeader{.payload_type = 98, .marker = false, .sequence = 1,
+                         .rtp_timestamp = 2, .ssrc = 3}
+                   .serialize();
+  bytes.resize(200, 0x55);
+  const auto parsed = parse_rtp(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->ssrc, 3u);
+}
+
+/// Property sweep: every (marker, pt, seq) combination round-trips.
+class RtpRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(RtpRoundTrip, FieldsPreserved) {
+  const int i = GetParam();
+  RtpHeader h;
+  h.payload_type = static_cast<std::uint8_t>(i * 7 % 128);
+  h.marker = i % 2 == 0;
+  h.sequence = static_cast<std::uint16_t>(i * 12345);
+  h.rtp_timestamp = static_cast<std::uint32_t>(i) * 90000u;
+  h.ssrc = static_cast<std::uint32_t>(i) * 2654435761u;
+  const auto parsed = parse_rtp(h.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->payload_type, h.payload_type);
+  EXPECT_EQ(parsed->marker, h.marker);
+  EXPECT_EQ(parsed->sequence, h.sequence);
+  EXPECT_EQ(parsed->rtp_timestamp, h.rtp_timestamp);
+  EXPECT_EQ(parsed->ssrc, h.ssrc);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RtpRoundTrip, ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace cgctx::net

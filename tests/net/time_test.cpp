@@ -1,0 +1,45 @@
+#include "net/time.hpp"
+
+#include <gtest/gtest.h>
+
+// The umbrella header must compile standalone (this TU is its only
+// dedicated check).
+#include "cgctx.hpp"
+
+namespace cgctx::net {
+namespace {
+
+TEST(Time, SecondConversionsRoundTrip) {
+  EXPECT_EQ(duration_from_seconds(1.0), kNanosPerSecond);
+  EXPECT_EQ(duration_from_seconds(0.5), kNanosPerSecond / 2);
+  EXPECT_DOUBLE_EQ(duration_to_seconds(kNanosPerSecond), 1.0);
+  EXPECT_DOUBLE_EQ(duration_to_seconds(duration_from_seconds(123.456)),
+                   123.456);
+}
+
+TEST(Time, MillisecondConversions) {
+  EXPECT_EQ(duration_from_millis(1.0), kNanosPerMilli);
+  EXPECT_DOUBLE_EQ(duration_to_millis(duration_from_millis(2.5)), 2.5);
+  EXPECT_DOUBLE_EQ(duration_to_millis(kNanosPerSecond), 1000.0);
+}
+
+TEST(Time, NegativeDurationsSupported) {
+  EXPECT_EQ(duration_from_seconds(-1.0), -kNanosPerSecond);
+  EXPECT_DOUBLE_EQ(duration_to_millis(-kNanosPerMilli), -1.0);
+}
+
+TEST(Time, ConstantsConsistent) {
+  EXPECT_EQ(kNanosPerSecond, 1000 * kNanosPerMilli);
+  EXPECT_EQ(kNanosPerMilli, 1000 * kNanosPerMicro);
+}
+
+TEST(Time, LargeTimestampsDoNotOverflow) {
+  // Three months of deployment (the paper's window) in nanoseconds is
+  // far inside the Timestamp range.
+  const Timestamp three_months = duration_from_seconds(90.0 * 24 * 3600);
+  EXPECT_GT(three_months, 0);
+  EXPECT_DOUBLE_EQ(duration_to_seconds(three_months), 90.0 * 24 * 3600);
+}
+
+}  // namespace
+}  // namespace cgctx::net

@@ -1,0 +1,125 @@
+#include "sim/catalog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace cgctx::sim {
+namespace {
+
+TEST(Catalog, HasThirteenPopularTitlesPlusLongTail) {
+  EXPECT_EQ(popular_titles().size(), 13u);
+  EXPECT_EQ(catalog().size(), kNumTitles);
+}
+
+TEST(Catalog, PopularityMatchesPaperTable1) {
+  // Spot-check the paper's published popularity column.
+  EXPECT_NEAR(info(GameTitle::kFortnite).popularity, 0.378, 1e-9);
+  EXPECT_NEAR(info(GameTitle::kGenshinImpact).popularity, 0.201, 1e-9);
+  EXPECT_NEAR(info(GameTitle::kHearthstone).popularity, 0.0004, 1e-9);
+  EXPECT_NEAR(info(GameTitle::kDota2).popularity, 0.0055, 1e-9);
+}
+
+TEST(Catalog, PopularThirteenCoverAbout69Percent) {
+  double total = 0.0;
+  for (const GameInfo& game : popular_titles()) total += game.popularity;
+  EXPECT_NEAR(total, 0.69, 0.01);  // paper: "over 69% of total playtime"
+}
+
+TEST(Catalog, FullPopularitySumsToOne) {
+  double total = 0.0;
+  for (const GameInfo& game : catalog()) total += game.popularity;
+  EXPECT_NEAR(total, 1.0, 0.01);
+}
+
+TEST(Catalog, GenresMatchPaperTable1) {
+  EXPECT_EQ(info(GameTitle::kFortnite).genre, Genre::kShooter);
+  EXPECT_EQ(info(GameTitle::kGenshinImpact).genre, Genre::kRolePlaying);
+  EXPECT_EQ(info(GameTitle::kRocketLeague).genre, Genre::kSports);
+  EXPECT_EQ(info(GameTitle::kDota2).genre, Genre::kMoba);
+  EXPECT_EQ(info(GameTitle::kHearthstone).genre, Genre::kCard);
+}
+
+TEST(Catalog, RolePlayingIsContinuousEverythingElseSpectate) {
+  for (const GameInfo& game : popular_titles()) {
+    if (game.genre == Genre::kRolePlaying) {
+      EXPECT_EQ(game.pattern, ActivityPattern::kContinuousPlay) << game.name;
+    } else {
+      EXPECT_EQ(game.pattern, ActivityPattern::kSpectateAndPlay) << game.name;
+    }
+  }
+}
+
+TEST(Catalog, StageFractionsSumToOne) {
+  for (const GameInfo& game : catalog()) {
+    const double total = game.stage_fraction[0] + game.stage_fraction[1] +
+                         game.stage_fraction[2];
+    EXPECT_NEAR(total, 1.0, 1e-9) << game.name;
+  }
+}
+
+TEST(Catalog, ContinuousPlayHasUnderFivePercentPassive) {
+  for (const GameInfo& game : catalog()) {
+    if (game.pattern == ActivityPattern::kContinuousPlay) {
+      EXPECT_LT(game.stage_fraction[1], 0.05) << game.name;
+    }
+  }
+}
+
+TEST(Catalog, SpectateAndPlayActiveFractionInPaperRange) {
+  for (const GameInfo& game : catalog())
+    if (game.pattern == ActivityPattern::kSpectateAndPlay) {
+      EXPECT_GE(game.stage_fraction[0], 0.40) << game.name;
+      EXPECT_LE(game.stage_fraction[0], 0.70) << game.name;
+    }
+}
+
+TEST(Catalog, DemandShapeMatchesSection5) {
+  // Hearthstone is the low-demand outlier; Fortnite and BG3 peak highest.
+  const double hearthstone = info(GameTitle::kHearthstone).peak_demand_mbps;
+  for (const GameInfo& game : popular_titles()) {
+    if (game.title != GameTitle::kHearthstone) {
+      EXPECT_GT(game.peak_demand_mbps, hearthstone) << game.name;
+    }
+  }
+  EXPECT_NEAR(info(GameTitle::kFortnite).peak_demand_mbps, 68, 1e-9);
+  EXPECT_NEAR(info(GameTitle::kBaldursGate3).peak_demand_mbps, 68, 1e-9);
+}
+
+TEST(Catalog, SessionDurationShapeMatchesFig11) {
+  // BG3 longest; Rocket League and CS:GO shortest.
+  const auto& bg3 = info(GameTitle::kBaldursGate3);
+  for (const GameInfo& game : popular_titles()) {
+    if (game.title != GameTitle::kBaldursGate3) {
+      EXPECT_LE(game.mean_session_minutes, bg3.mean_session_minutes)
+          << game.name;
+    }
+  }
+  EXPECT_LT(info(GameTitle::kRocketLeague).mean_session_minutes, 40);
+  EXPECT_LT(info(GameTitle::kCsgo).mean_session_minutes, 40);
+}
+
+TEST(Catalog, NamesRoundTrip) {
+  std::set<std::string> names;
+  for (const GameInfo& game : catalog()) {
+    EXPECT_TRUE(names.insert(game.name).second) << "duplicate " << game.name;
+    const auto parsed = title_from_name(game.name);
+    ASSERT_TRUE(parsed.has_value()) << game.name;
+    EXPECT_EQ(*parsed, game.title);
+  }
+  EXPECT_FALSE(title_from_name("Tetris").has_value());
+}
+
+TEST(Catalog, InfoRejectsBadIndex) {
+  EXPECT_THROW(info(static_cast<GameTitle>(200)), std::out_of_range);
+}
+
+TEST(Catalog, EnumStringsAreStable) {
+  EXPECT_STREQ(to_string(Genre::kMoba), "MOBA");
+  EXPECT_STREQ(to_string(ActivityPattern::kContinuousPlay), "Continuous-play");
+  EXPECT_STREQ(to_string(GameTitle::kCyberpunk2077), "Cyberpunk 2077");
+}
+
+}  // namespace
+}  // namespace cgctx::sim

@@ -1,0 +1,93 @@
+#include "sim/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cgctx::sim {
+namespace {
+
+TEST(LabConfig, EightRowsTotalling531Sessions) {
+  int total = 0;
+  for (const LabConfigRow& row : lab_config_rows()) total += row.sessions;
+  EXPECT_EQ(lab_config_rows().size(), 8u);
+  EXPECT_EQ(total, 531);
+}
+
+TEST(LabConfig, RowsMatchPaperTable2DeviceMix) {
+  const auto rows = lab_config_rows();
+  EXPECT_EQ(rows[0].device, DeviceClass::kPc);
+  EXPECT_EQ(rows[0].os, Os::kWindows);
+  EXPECT_EQ(rows[0].software, Software::kNativeApp);
+  EXPECT_EQ(rows[0].sessions, 89);
+  EXPECT_EQ(rows[7].device, DeviceClass::kConsole);
+  EXPECT_EQ(rows[7].os, Os::kXboxOs);
+  EXPECT_EQ(rows[7].sessions, 54);
+}
+
+TEST(LabConfig, SampleConfigStaysWithinRowResolutionRange) {
+  ml::Rng rng(1);
+  for (const LabConfigRow& row : lab_config_rows()) {
+    for (int i = 0; i < 50; ++i) {
+      const ClientConfig cfg = sample_config(row, rng);
+      EXPECT_GE(static_cast<int>(cfg.resolution),
+                static_cast<int>(row.min_resolution));
+      EXPECT_LE(static_cast<int>(cfg.resolution),
+                static_cast<int>(row.max_resolution));
+      EXPECT_TRUE(cfg.fps == 30 || cfg.fps == 60 || cfg.fps == 120);
+      EXPECT_EQ(cfg.device, row.device);
+    }
+  }
+}
+
+TEST(LabConfig, FleetSamplingCoversAllDeviceClasses) {
+  ml::Rng rng(2);
+  bool seen[4] = {};
+  for (int i = 0; i < 500; ++i)
+    seen[static_cast<int>(sample_config(rng).device)] = true;
+  EXPECT_TRUE(seen[0]);
+  EXPECT_TRUE(seen[1]);
+  EXPECT_TRUE(seen[2]);
+  EXPECT_TRUE(seen[3]);
+}
+
+TEST(Resolution, BitrateFactorsAreMonotone) {
+  EXPECT_LT(resolution_bitrate_factor(Resolution::kSd),
+            resolution_bitrate_factor(Resolution::kHd));
+  EXPECT_LT(resolution_bitrate_factor(Resolution::kHd),
+            resolution_bitrate_factor(Resolution::kFhd));
+  EXPECT_LT(resolution_bitrate_factor(Resolution::kFhd),
+            resolution_bitrate_factor(Resolution::kQhd));
+  EXPECT_LT(resolution_bitrate_factor(Resolution::kQhd),
+            resolution_bitrate_factor(Resolution::kUhd));
+  EXPECT_DOUBLE_EQ(resolution_bitrate_factor(Resolution::kFhd), 1.0);
+}
+
+TEST(ClientConfig, DescribeMentionsEverything) {
+  ClientConfig cfg;
+  cfg.device = DeviceClass::kMobile;
+  cfg.os = Os::kAndroid;
+  cfg.software = Software::kNativeApp;
+  cfg.resolution = Resolution::kQhd;
+  cfg.fps = 120;
+  const std::string text = cfg.describe();
+  EXPECT_NE(text.find("Mobile"), std::string::npos);
+  EXPECT_NE(text.find("Android"), std::string::npos);
+  EXPECT_NE(text.find("QHD"), std::string::npos);
+  EXPECT_NE(text.find("120"), std::string::npos);
+}
+
+TEST(NetworkConditions, ProfilesAreOrdered) {
+  const auto lab = NetworkConditions::lab();
+  const auto good = NetworkConditions::good();
+  const auto congested = NetworkConditions::congested();
+  EXPECT_LT(lab.rtt_ms, good.rtt_ms);
+  EXPECT_LT(good.rtt_ms, congested.rtt_ms);
+  EXPECT_LT(lab.loss_rate, congested.loss_rate);
+  EXPECT_GT(lab.bandwidth_mbps, congested.bandwidth_mbps);
+  // The lab access network matches the paper: ~1 Gbps, <10 ms, <0.1% loss.
+  EXPECT_GE(lab.bandwidth_mbps, 1000.0);
+  EXPECT_LT(lab.rtt_ms, 10.0);
+  EXPECT_LT(lab.loss_rate, 0.001);
+}
+
+}  // namespace
+}  // namespace cgctx::sim

@@ -1,0 +1,76 @@
+#include "sim/cross_traffic.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cgctx::sim {
+namespace {
+
+const net::Ipv4Addr kClient = net::Ipv4Addr::from_octets(10, 1, 2, 3);
+
+TEST(CrossTraffic, WebBrowsingIsTcp443AndBursty) {
+  ml::Rng rng(1);
+  const auto packets = web_browsing_flow(kClient, 30.0, rng);
+  ASSERT_FALSE(packets.empty());
+  for (const auto& pkt : packets) {
+    EXPECT_EQ(pkt.tuple.protocol, 6);
+    EXPECT_FALSE(pkt.rtp.has_value());
+  }
+  // Server port is 443 in the upstream orientation.
+  const auto& up = packets.front().direction == net::Direction::kUpstream
+                       ? packets.front().tuple
+                       : packets.front().tuple.reversed();
+  EXPECT_EQ(up.dst_port, 443);
+}
+
+TEST(CrossTraffic, VideoStreamingIsDownstreamHeavy) {
+  ml::Rng rng(2);
+  const auto packets = video_streaming_flow(kClient, 20.0, rng);
+  std::size_t up = 0;
+  std::size_t down = 0;
+  for (const auto& pkt : packets)
+    (pkt.direction == net::Direction::kUpstream ? up : down) += 1;
+  EXPECT_GT(down, 5 * up);
+}
+
+TEST(CrossTraffic, VoipIsSymmetricRtpAtLowRate) {
+  ml::Rng rng(3);
+  const double duration = 20.0;
+  const auto packets = voip_flow(kClient, duration, rng);
+  std::size_t up = 0;
+  std::size_t down = 0;
+  std::uint64_t bytes = 0;
+  for (const auto& pkt : packets) {
+    ASSERT_TRUE(pkt.rtp.has_value());
+    EXPECT_EQ(pkt.tuple.protocol, 17);
+    EXPECT_LT(pkt.payload_size, 200u);
+    (pkt.direction == net::Direction::kUpstream ? up : down) += 1;
+    if (pkt.direction == net::Direction::kDownstream) bytes += pkt.payload_size;
+  }
+  EXPECT_NEAR(static_cast<double>(up), static_cast<double>(down), 5.0);
+  // ~50 pps per direction.
+  EXPECT_NEAR(static_cast<double>(down) / duration, 50.0, 5.0);
+  // Well under 1 Mbps downstream: the detector's rate gate excludes VoIP.
+  EXPECT_LT(static_cast<double>(bytes) * 8.0 / duration, 1e6);
+}
+
+TEST(CrossTraffic, AllFlowsAreTimeSorted) {
+  ml::Rng rng(4);
+  for (const auto& packets :
+       {web_browsing_flow(kClient, 10.0, rng),
+        video_streaming_flow(kClient, 10.0, rng), voip_flow(kClient, 10.0, rng)}) {
+    for (std::size_t i = 1; i < packets.size(); ++i)
+      EXPECT_LE(packets[i - 1].timestamp, packets[i].timestamp);
+  }
+}
+
+TEST(CrossTraffic, FlowsUseDistinctServerEndpoints) {
+  ml::Rng rng(5);
+  const auto a = web_browsing_flow(kClient, 5.0, rng);
+  const auto b = web_browsing_flow(kClient, 5.0, rng);
+  ASSERT_FALSE(a.empty());
+  ASSERT_FALSE(b.empty());
+  EXPECT_NE(a.front().tuple.canonical(), b.front().tuple.canonical());
+}
+
+}  // namespace
+}  // namespace cgctx::sim

@@ -1,0 +1,98 @@
+#include "sim/fleet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace cgctx::sim {
+namespace {
+
+TEST(Fleet, TitleMixFollowsPopularity) {
+  FleetOptions options;
+  options.seed = 1;
+  FleetSampler sampler(options);
+  std::map<GameTitle, int> counts;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) ++counts[sampler.sample().title];
+  // Fortnite ~37.8%, Genshin ~20.1%, Hearthstone ~0.04%.
+  EXPECT_NEAR(counts[GameTitle::kFortnite] / static_cast<double>(n), 0.378,
+              0.02);
+  EXPECT_NEAR(counts[GameTitle::kGenshinImpact] / static_cast<double>(n), 0.201,
+              0.02);
+  EXPECT_LT(counts[GameTitle::kHearthstone], 50);
+  // Long tail present (~31%).
+  const double tail =
+      (counts[GameTitle::kOtherContinuous] + counts[GameTitle::kOtherSpectate]) /
+      static_cast<double>(n);
+  EXPECT_NEAR(tail, 0.31, 0.02);
+}
+
+TEST(Fleet, NetworkMixFollowsOptions) {
+  FleetOptions options;
+  options.seed = 2;
+  FleetSampler sampler(options);
+  int congested = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i)
+    if (sampler.sample().network.loss_rate >=
+        NetworkConditions::congested().loss_rate)
+      ++congested;
+  EXPECT_NEAR(congested / static_cast<double>(n), options.fraction_congested,
+              0.01);
+}
+
+TEST(Fleet, DurationsScaleWithOption) {
+  FleetOptions short_options;
+  short_options.seed = 3;
+  short_options.duration_scale = 0.1;
+  FleetOptions long_options = short_options;
+  long_options.duration_scale = 1.0;
+  FleetSampler short_sampler(short_options);
+  FleetSampler long_sampler(long_options);
+  double short_sum = 0.0;
+  double long_sum = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    short_sum += short_sampler.sample().gameplay_seconds;
+    long_sum += long_sampler.sample().gameplay_seconds;
+  }
+  EXPECT_NEAR(long_sum / short_sum, 10.0, 1.5);
+}
+
+TEST(Fleet, DurationsHaveAFloor) {
+  FleetOptions options;
+  options.seed = 4;
+  options.duration_scale = 1.0;
+  FleetSampler sampler(options);
+  for (int i = 0; i < 2000; ++i)
+    EXPECT_GE(sampler.sample().gameplay_seconds, 120.0);
+}
+
+TEST(Fleet, SeedsAreUniquePerSession) {
+  FleetOptions options;
+  options.seed = 5;
+  FleetSampler sampler(options);
+  std::set<std::uint64_t> seeds;
+  for (int i = 0; i < 1000; ++i)
+    EXPECT_TRUE(seeds.insert(sampler.sample().seed).second);
+}
+
+TEST(Fleet, LongSessionTitlesYieldLongerDurations) {
+  FleetOptions options;
+  options.seed = 6;
+  FleetSampler sampler(options);
+  std::map<GameTitle, std::pair<double, int>> sums;
+  for (int i = 0; i < 30000; ++i) {
+    const auto spec = sampler.sample();
+    auto& [sum, count] = sums[spec.title];
+    sum += spec.gameplay_seconds;
+    ++count;
+  }
+  const auto& bg3 = sums[GameTitle::kBaldursGate3];
+  const auto& rl = sums[GameTitle::kRocketLeague];
+  ASSERT_GT(bg3.second, 50);
+  ASSERT_GT(rl.second, 50);
+  EXPECT_GT(bg3.first / bg3.second, 1.5 * rl.first / rl.second);
+}
+
+}  // namespace
+}  // namespace cgctx::sim

@@ -1,0 +1,98 @@
+#include "sim/launch_signature.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cgctx::sim {
+namespace {
+
+TEST(LaunchSignature, DeterministicAcrossCalls) {
+  const LaunchSignature& a = launch_signature(GameTitle::kFortnite);
+  const LaunchSignature& b = launch_signature(GameTitle::kFortnite);
+  EXPECT_EQ(&a, &b);  // cached
+  EXPECT_EQ(a.full_pps, b.full_pps);
+}
+
+TEST(LaunchSignature, DurationMatchesCatalog) {
+  for (const GameInfo& game : catalog()) {
+    const LaunchSignature& sig = launch_signature(game.title);
+    EXPECT_DOUBLE_EQ(sig.duration_s, game.launch_seconds) << game.name;
+    EXPECT_EQ(sig.full_pps.size(),
+              static_cast<std::size_t>(game.launch_seconds));
+  }
+}
+
+TEST(LaunchSignature, EveryTitleHasEarlyWindowContent) {
+  // The paper classifies from the first 5 seconds: every title must have
+  // steady bands and sparse bursts starting inside that window.
+  for (const GameInfo& game : catalog()) {
+    const LaunchSignature& sig = launch_signature(game.title);
+    bool early_band = false;
+    for (const SteadyBand& band : sig.steady_bands)
+      if (band.start_s < 5.0 && band.end_s > band.start_s) early_band = true;
+    bool early_burst = false;
+    for (const SparseBurst& burst : sig.sparse_bursts)
+      if (burst.start_s < 5.0 && burst.end_s > burst.start_s) early_burst = true;
+    EXPECT_TRUE(early_band) << game.name;
+    EXPECT_TRUE(early_burst) << game.name;
+  }
+}
+
+TEST(LaunchSignature, BandsAreNarrowAndBelowFullPayload) {
+  for (const GameInfo& game : catalog()) {
+    for (const SteadyBand& band : launch_signature(game.title).steady_bands) {
+      EXPECT_GT(band.payload_center, 50.0);
+      EXPECT_LT(band.payload_center + band.payload_width, kFullPayloadBytes);
+      EXPECT_LT(band.payload_width, 60.0);  // "narrow bands" (paper Fig. 3)
+      EXPECT_GT(band.pps, 0.0);
+      EXPECT_LE(band.end_s, game.launch_seconds + 1e-9);
+    }
+  }
+}
+
+TEST(LaunchSignature, SparseBurstsHaveWidePayloadRanges) {
+  for (const GameInfo& game : catalog()) {
+    for (const SparseBurst& burst : launch_signature(game.title).sparse_bursts) {
+      EXPECT_GT(burst.payload_max - burst.payload_min, 200.0);
+      EXPECT_LT(burst.payload_max, kFullPayloadBytes);
+    }
+  }
+}
+
+TEST(LaunchSignature, FullRateProfilesArePositive) {
+  for (const GameInfo& game : catalog())
+    for (double pps : launch_signature(game.title).full_pps) EXPECT_GT(pps, 0.0);
+}
+
+TEST(LaunchSignature, TitlesWithinGenreStillDiffer) {
+  // Same-genre titles share structure but must not be identical: compare
+  // the full-packet profiles of two shooters.
+  const auto& cod = launch_signature(GameTitle::kCallOfDuty);
+  const auto& ow = launch_signature(GameTitle::kOverwatch2);
+  const std::size_t n = std::min(cod.full_pps.size(), ow.full_pps.size());
+  double diff = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    diff += std::abs(cod.full_pps[i] - ow.full_pps[i]);
+  EXPECT_GT(diff / static_cast<double>(n), 1.0);
+}
+
+TEST(LaunchSignature, DifferentGenresDifferMore) {
+  // Average per-slot full-rate distance across genres should exceed the
+  // within-genre distance on average (genre layering).
+  auto mean_rate = [](GameTitle t) {
+    const auto& sig = launch_signature(t);
+    double total = 0.0;
+    for (double pps : sig.full_pps) total += pps;
+    return total / static_cast<double>(sig.full_pps.size());
+  };
+  // Shooters cluster around one genre base; the card game sits elsewhere.
+  const double shooter_a = mean_rate(GameTitle::kCsgo);
+  const double shooter_b = mean_rate(GameTitle::kOverwatch2);
+  const double card = mean_rate(GameTitle::kHearthstone);
+  EXPECT_LT(std::abs(shooter_a - shooter_b),
+            std::abs(shooter_a - card) + std::abs(shooter_b - card));
+}
+
+}  // namespace
+}  // namespace cgctx::sim

@@ -1,0 +1,108 @@
+#include "sim/platform_anatomy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/flow_detector.hpp"
+#include "net/flow_table.hpp"
+#include "sim/session.hpp"
+
+namespace cgctx::sim {
+namespace {
+
+const net::Ipv4Addr kClient = net::Ipv4Addr::from_octets(10, 4, 4, 4);
+const net::Ipv4Addr kServer = net::Ipv4Addr::from_octets(119, 81, 2, 2);
+
+TEST(PlatformAnatomy, ContainsAllThreePhases) {
+  ml::Rng rng(1);
+  const auto flows = platform_session_anatomy(
+      kClient, kServer, net::duration_from_seconds(60.0), rng);
+  bool seen[3] = {};
+  for (const PlatformFlow& flow : flows) {
+    EXPECT_FALSE(flow.packets.empty()) << to_string(flow.phase);
+    seen[static_cast<int>(flow.phase)] = true;
+  }
+  EXPECT_TRUE(seen[0]);
+  EXPECT_TRUE(seen[1]);
+  EXPECT_TRUE(seen[2]);
+}
+
+TEST(PlatformAnatomy, AllTrafficPrecedesTheStream) {
+  ml::Rng rng(2);
+  const auto stream_start = net::duration_from_seconds(90.0);
+  const auto flows =
+      platform_session_anatomy(kClient, kServer, stream_start, rng);
+  for (const PlatformFlow& flow : flows)
+    for (const auto& pkt : flow.packets)
+      EXPECT_LT(pkt.timestamp, stream_start) << to_string(flow.phase);
+}
+
+TEST(PlatformAnatomy, PhasesUseExpectedTransports) {
+  ml::Rng rng(3);
+  const auto flows = platform_session_anatomy(
+      kClient, kServer, net::duration_from_seconds(60.0), rng);
+  for (const PlatformFlow& flow : flows) {
+    for (const auto& pkt : flow.packets) {
+      const auto up = pkt.direction == net::Direction::kUpstream
+                          ? pkt.tuple
+                          : pkt.tuple.reversed();
+      if (flow.phase == PlatformPhase::kConnectivityProbe) {
+        EXPECT_EQ(up.protocol, 17);
+        EXPECT_EQ(up.dst_ip, kServer);  // probes the streaming server
+      } else {
+        EXPECT_EQ(up.protocol, 6);
+        EXPECT_EQ(up.dst_port, 443);
+      }
+    }
+  }
+}
+
+TEST(PlatformAnatomy, FlattenIsTimeSorted) {
+  ml::Rng rng(4);
+  const auto packets = flatten(platform_session_anatomy(
+      kClient, kServer, net::duration_from_seconds(45.0), rng));
+  ASSERT_GT(packets.size(), 20u);
+  for (std::size_t i = 1; i < packets.size(); ++i)
+    EXPECT_LE(packets[i - 1].timestamp, packets[i].timestamp);
+}
+
+TEST(PlatformAnatomy, DetectorRejectsAdminTraffic) {
+  // The anatomy alone (no streaming flow) must never trigger the
+  // cloud-gaming detector — in particular the UDP probe flow, which
+  // shares the server and a platform port with the stream.
+  ml::Rng rng(5);
+  const auto packets = flatten(platform_session_anatomy(
+      kClient, kServer, net::duration_from_seconds(120.0), rng));
+  net::FlowTable table;
+  const core::CloudGamingFlowDetector detector;
+  for (const auto& pkt : packets)
+    EXPECT_FALSE(detector.detect(table.add(pkt)).has_value());
+}
+
+TEST(PlatformAnatomy, DetectorStillFindsStreamAmongAnatomy) {
+  const SessionGenerator gen;
+  SessionSpec spec;
+  spec.title = GameTitle::kFortnite;
+  spec.gameplay_seconds = 5;
+  spec.seed = 6;
+  spec.start_time = net::duration_from_seconds(40.0);
+  const auto session = gen.generate(spec);
+  ml::Rng rng(7);
+  auto packets = flatten(platform_session_anatomy(
+      session.client_ip, session.tuple.dst_ip, session.launch_begin, rng));
+  packets.insert(packets.end(), session.packets.begin(),
+                 session.packets.end());
+  std::sort(packets.begin(), packets.end(),
+            [](const auto& a, const auto& b) { return a.timestamp < b.timestamp; });
+
+  net::FlowTable table;
+  const core::CloudGamingFlowDetector detector;
+  std::optional<core::DetectionResult> detection;
+  for (const auto& pkt : packets) {
+    if (!detection) detection = detector.detect(table.add(pkt));
+  }
+  ASSERT_TRUE(detection.has_value());
+  EXPECT_EQ(detection->flow, session.tuple.canonical());
+}
+
+}  // namespace
+}  // namespace cgctx::sim

@@ -1,0 +1,249 @@
+#include "sim/session.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/launch_signature.hpp"
+#include "sim/volumetric.hpp"
+
+namespace cgctx::sim {
+namespace {
+
+SessionSpec small_spec(GameTitle title = GameTitle::kCsgo,
+                       std::uint64_t seed = 1) {
+  SessionSpec spec;
+  spec.title = title;
+  spec.gameplay_seconds = 60.0;
+  spec.seed = seed;
+  return spec;
+}
+
+TEST(Session, DeterministicForSameSeed) {
+  const SessionGenerator gen;
+  const auto a = gen.generate(small_spec());
+  const auto b = gen.generate(small_spec());
+  ASSERT_EQ(a.packets.size(), b.packets.size());
+  for (std::size_t i = 0; i < a.packets.size(); ++i) {
+    EXPECT_EQ(a.packets[i].timestamp, b.packets[i].timestamp);
+    EXPECT_EQ(a.packets[i].payload_size, b.packets[i].payload_size);
+  }
+}
+
+TEST(Session, DifferentSeedsDiffer) {
+  const SessionGenerator gen;
+  const auto a = gen.generate(small_spec(GameTitle::kCsgo, 1));
+  const auto b = gen.generate(small_spec(GameTitle::kCsgo, 2));
+  EXPECT_NE(a.packets.size(), b.packets.size());
+}
+
+TEST(Session, PacketsAreTimeSorted) {
+  const SessionGenerator gen;
+  const auto session = gen.generate(small_spec());
+  for (std::size_t i = 1; i < session.packets.size(); ++i)
+    EXPECT_LE(session.packets[i - 1].timestamp, session.packets[i].timestamp);
+}
+
+TEST(Session, TimelineBoundsAreConsistent) {
+  const SessionGenerator gen;
+  const auto session = gen.generate(small_spec());
+  const auto& sig = launch_signature(session.spec.title);
+  EXPECT_EQ(session.gameplay_begin - session.launch_begin,
+            net::duration_from_seconds(sig.duration_s));
+  EXPECT_EQ(session.end - session.gameplay_begin,
+            net::duration_from_seconds(60.0));
+  ASSERT_FALSE(session.stages.empty());
+  EXPECT_EQ(session.stages.front().begin, session.gameplay_begin);
+  EXPECT_EQ(session.stages.back().end, session.end);
+}
+
+TEST(Session, LaunchWindowContainsAllThreePacketSizeClasses) {
+  const SessionGenerator gen;
+  const auto session = gen.generate(small_spec(GameTitle::kGenshinImpact, 3));
+  std::size_t full = 0;
+  std::size_t other = 0;
+  for (const auto& pkt : session.packets) {
+    if (pkt.timestamp >= session.gameplay_begin) break;
+    if (pkt.direction != net::Direction::kDownstream) continue;
+    if (pkt.payload_size >= kFullPayloadBytes) {
+      ++full;
+    } else {
+      ++other;
+    }
+  }
+  EXPECT_GT(full, 100u);
+  EXPECT_GT(other, 50u);
+}
+
+TEST(Session, DownstreamCarriesConsistentRtp) {
+  const SessionGenerator gen;
+  const auto session = gen.generate(small_spec());
+  std::optional<std::uint32_t> down_ssrc;
+  std::optional<std::uint32_t> up_ssrc;
+  for (const auto& pkt : session.packets) {
+    ASSERT_TRUE(pkt.rtp.has_value());
+    if (pkt.direction == net::Direction::kDownstream) {
+      if (!down_ssrc) down_ssrc = pkt.rtp->ssrc;
+      EXPECT_EQ(pkt.rtp->ssrc, *down_ssrc);
+    } else {
+      if (!up_ssrc) up_ssrc = pkt.rtp->ssrc;
+      EXPECT_EQ(pkt.rtp->ssrc, *up_ssrc);
+    }
+  }
+  ASSERT_TRUE(down_ssrc.has_value());
+  ASSERT_TRUE(up_ssrc.has_value());
+  EXPECT_NE(*down_ssrc, *up_ssrc);
+}
+
+TEST(Session, MarkerBitsDelimitFrames) {
+  const SessionGenerator gen;
+  auto spec = small_spec(GameTitle::kFortnite, 5);
+  spec.config.fps = 60;
+  spec.config.resolution = Resolution::kFhd;
+  const auto session = gen.generate(spec);
+  // Count markers in one active gameplay second; should be near the
+  // effective frame rate.
+  std::size_t best_slot_markers = 0;
+  const auto slots = static_cast<std::size_t>(
+      net::duration_to_seconds(session.end - session.launch_begin));
+  std::vector<std::size_t> markers(slots, 0);
+  for (const auto& pkt : session.packets) {
+    if (pkt.direction != net::Direction::kDownstream || !pkt.rtp->marker)
+      continue;
+    const auto slot = static_cast<std::size_t>(
+        net::duration_to_seconds(pkt.timestamp - session.launch_begin));
+    if (slot < slots) ++markers[slot];
+  }
+  for (std::size_t m : markers) best_slot_markers = std::max(best_slot_markers, m);
+  EXPECT_GT(best_slot_markers, 40u);
+  EXPECT_LT(best_slot_markers, 80u);
+}
+
+TEST(Session, SlotSamplesMatchPacketTallies) {
+  const SessionGenerator gen;
+  const auto session = gen.generate(small_spec(GameTitle::kRocketLeague, 7));
+  // Recompute slot volumetrics from packets and compare to slots[].
+  std::vector<std::uint64_t> down_bytes(session.slots.size(), 0);
+  for (const auto& pkt : session.packets) {
+    const auto slot = static_cast<std::size_t>(
+        net::duration_to_seconds(pkt.timestamp - session.launch_begin));
+    if (slot >= down_bytes.size()) continue;
+    if (pkt.direction == net::Direction::kDownstream)
+      down_bytes[slot] += pkt.payload_size;
+  }
+  for (std::size_t s = 0; s < session.slots.size(); ++s)
+    EXPECT_EQ(session.slots[s].down_bytes, down_bytes[s]) << "slot " << s;
+}
+
+TEST(Session, ActiveSlotsOutweighIdleSlots) {
+  const SessionGenerator gen;
+  auto spec = small_spec(GameTitle::kCyberpunk2077, 9);
+  spec.gameplay_seconds = 300.0;
+  const auto session = gen.generate_slots_only(spec);
+  double active_sum = 0.0;
+  std::size_t active_n = 0;
+  double idle_sum = 0.0;
+  std::size_t idle_n = 0;
+  for (std::size_t s = 0; s < session.slots.size(); ++s) {
+    const net::Timestamp mid = session.launch_begin +
+                               net::duration_from_seconds(s + 0.5);
+    if (session.in_launch(mid)) continue;
+    const auto bytes = static_cast<double>(session.slots[s].down_bytes);
+    if (session.stage_label_at(mid) == Stage::kActive) {
+      active_sum += bytes;
+      ++active_n;
+    } else if (session.stage_label_at(mid) == Stage::kIdle) {
+      idle_sum += bytes;
+      ++idle_n;
+    }
+  }
+  ASSERT_GT(active_n, 0u);
+  ASSERT_GT(idle_n, 0u);
+  // Idle streams at ~14% of peak; active at ~100%.
+  EXPECT_GT(active_sum / active_n, 3.0 * idle_sum / idle_n);
+}
+
+TEST(Session, SlotsOnlySkipsGameplayPackets) {
+  const SessionGenerator gen;
+  auto spec = small_spec(GameTitle::kDota2, 11);
+  const auto session = gen.generate_slots_only(spec);
+  for (const auto& pkt : session.packets)
+    EXPECT_LT(pkt.timestamp,
+              session.gameplay_begin + net::duration_from_seconds(2.0));
+  // But slot telemetry still covers the whole session.
+  EXPECT_GE(session.slots.size(),
+            static_cast<std::size_t>(
+                net::duration_to_seconds(session.end - session.launch_begin)) -
+                1);
+}
+
+TEST(Session, DemandScalesWithResolutionAndFps) {
+  const GameInfo& game = info(GameTitle::kFortnite);
+  ClientConfig uhd{DeviceClass::kPc, Os::kWindows, Software::kNativeApp,
+                   Resolution::kUhd, 120};
+  ClientConfig sd{DeviceClass::kPc, Os::kWindows, Software::kNativeApp,
+                  Resolution::kSd, 30};
+  EXPECT_NEAR(demand_mbps(game, uhd), game.peak_demand_mbps, 1e-9);
+  EXPECT_LT(demand_mbps(game, sd), 0.2 * game.peak_demand_mbps);
+}
+
+TEST(Session, CongestedNetworkCapsPeak) {
+  const SessionGenerator gen;
+  auto spec = small_spec(GameTitle::kFortnite, 13);
+  spec.config.resolution = Resolution::kUhd;
+  spec.config.fps = 120;
+  spec.network = NetworkConditions::congested();
+  const auto session = gen.generate_slots_only(spec);
+  EXPECT_LE(session.peak_down_mbps,
+            spec.network.bandwidth_mbps * 0.85 + 1e-9);
+  // Delivered frame rate is degraded below the setting.
+  double max_frames = 0.0;
+  for (const auto& slot : session.slots)
+    max_frames = std::max(max_frames, slot.frames);
+  EXPECT_LT(max_frames, 0.8 * spec.config.fps);
+}
+
+TEST(Session, LossShowsUpInSlotTelemetry) {
+  const SessionGenerator gen;
+  auto spec = small_spec(GameTitle::kCsgo, 15);
+  spec.network = NetworkConditions::congested();  // 3% loss
+  const auto session = gen.generate(spec);
+  double total_loss = 0.0;
+  for (const auto& slot : session.slots) total_loss += slot.loss_rate;
+  EXPECT_GT(total_loss / static_cast<double>(session.slots.size()), 0.01);
+}
+
+TEST(Session, ClientAndServerAddressingIsPlausible) {
+  const SessionGenerator gen;
+  const auto session = gen.generate(small_spec());
+  EXPECT_EQ(session.tuple.src_ip, session.client_ip);
+  EXPECT_EQ(session.tuple.dst_port, 49004);  // GeForce NOW streaming port
+  EXPECT_GE(session.tuple.src_port, 49152);  // ephemeral
+  EXPECT_EQ(session.tuple.protocol, 17);
+}
+
+/// Property sweep: every popular title renders a valid packet-fidelity
+/// session with both directions present.
+class SessionTitleSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SessionTitleSweep, RendersValidSession) {
+  const SessionGenerator gen;
+  auto spec = small_spec(static_cast<GameTitle>(GetParam()),
+                         static_cast<std::uint64_t>(GetParam()) + 40);
+  spec.gameplay_seconds = 30.0;
+  const auto session = gen.generate(spec);
+  std::size_t up = 0;
+  std::size_t down = 0;
+  for (const auto& pkt : session.packets)
+    (pkt.direction == net::Direction::kUpstream ? up : down) += 1;
+  EXPECT_GT(up, 100u);
+  EXPECT_GT(down, 1000u);
+  EXPECT_GT(session.peak_down_mbps, 0.5);
+  EXPECT_GT(session.peak_up_pps, 50.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTitles, SessionTitleSweep, ::testing::Range(0, 15));
+
+}  // namespace
+}  // namespace cgctx::sim

@@ -1,0 +1,155 @@
+#include "sim/stage_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cgctx::sim {
+namespace {
+
+TEST(StageModel, TimelineCoversRequestedSpanContiguously) {
+  const StageMarkovModel model =
+      StageMarkovModel::for_title(info(GameTitle::kCsgo));
+  ml::Rng rng(1);
+  const auto start = net::duration_from_seconds(100.0);
+  const auto duration = net::duration_from_seconds(600.0);
+  const auto timeline = model.generate(start, duration, rng);
+  ASSERT_FALSE(timeline.empty());
+  EXPECT_EQ(timeline.front().begin, start);
+  EXPECT_EQ(timeline.back().end, start + duration);
+  for (std::size_t i = 1; i < timeline.size(); ++i) {
+    EXPECT_EQ(timeline[i].begin, timeline[i - 1].end);
+    EXPECT_NE(timeline[i].stage, timeline[i - 1].stage);  // merged runs
+  }
+}
+
+TEST(StageModel, StartsIdleInLobby) {
+  for (const GameTitle title : {GameTitle::kFortnite, GameTitle::kCyberpunk2077}) {
+    const StageMarkovModel model = StageMarkovModel::for_title(info(title));
+    ml::Rng rng(2);
+    const auto timeline =
+        model.generate(0, net::duration_from_seconds(300.0), rng);
+    EXPECT_EQ(timeline.front().stage, Stage::kIdle);
+  }
+}
+
+TEST(StageModel, PassiveNeverPrecedesActive) {
+  const StageMarkovModel model =
+      StageMarkovModel::for_title(info(GameTitle::kOverwatch2));
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    ml::Rng rng(seed);
+    const auto timeline =
+        model.generate(0, net::duration_from_seconds(900.0), rng);
+    bool played = false;
+    for (const StageInterval& interval : timeline) {
+      if (interval.stage == Stage::kActive) played = true;
+      if (interval.stage == Stage::kPassive) {
+        EXPECT_TRUE(played) << "seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(StageModel, LongRunFractionsApproachCatalogTargets) {
+  for (const GameTitle title :
+       {GameTitle::kCsgo, GameTitle::kGenshinImpact, GameTitle::kHearthstone}) {
+    const GameInfo& game = info(title);
+    const StageMarkovModel model = StageMarkovModel::for_title(game);
+    std::array<double, kNumStages> totals{};
+    for (std::uint64_t seed = 0; seed < 20; ++seed) {
+      ml::Rng rng(seed * 7 + 1);
+      const auto timeline =
+          model.generate(0, net::duration_from_seconds(3600.0), rng);
+      const auto seconds = stage_seconds(timeline);
+      for (std::size_t s = 0; s < kNumStages; ++s) totals[s] += seconds[s];
+    }
+    const double total = totals[0] + totals[1] + totals[2];
+    for (std::size_t s = 0; s < kNumStages; ++s) {
+      EXPECT_NEAR(totals[s] / total, game.stage_fraction[s], 0.12)
+          << game.name << " stage " << s;
+    }
+  }
+}
+
+TEST(StageModel, SlotTransitionMatrixRowsSumToOne) {
+  const StageMarkovModel model =
+      StageMarkovModel::for_title(info(GameTitle::kDota2));
+  const auto matrix = model.slot_transition_matrix();
+  for (std::size_t s = 0; s < kNumStages; ++s) {
+    double row = 0.0;
+    for (std::size_t t = 0; t < kNumStages; ++t) {
+      EXPECT_GE(matrix[s][t], 0.0);
+      row += matrix[s][t];
+    }
+    EXPECT_NEAR(row, 1.0, 1e-9);
+  }
+}
+
+TEST(StageModel, SelfRetentionDominatesPerSlot) {
+  // Dwell times are tens of seconds, so per-second self-transition
+  // probability is high (this is what makes the transition-matrix
+  // diagonal large in Fig. 5).
+  const StageMarkovModel model =
+      StageMarkovModel::for_title(info(GameTitle::kFortnite));
+  const auto matrix = model.slot_transition_matrix();
+  for (std::size_t s = 0; s < kNumStages; ++s)
+    EXPECT_GT(matrix[s][s], 0.9);
+}
+
+TEST(StageModel, ContinuousPlayRarelyEntersPassive) {
+  const StageMarkovModel model =
+      StageMarkovModel::for_title(info(GameTitle::kGenshinImpact));
+  ml::Rng rng(11);
+  const auto timeline =
+      model.generate(0, net::duration_from_seconds(7200.0), rng);
+  const auto seconds = stage_seconds(timeline);
+  const double total = seconds[0] + seconds[1] + seconds[2];
+  EXPECT_LT(seconds[static_cast<std::size_t>(Stage::kPassive)] / total, 0.08);
+}
+
+TEST(StageModel, StageAtFindsCoveringInterval) {
+  std::vector<StageInterval> timeline = {
+      {0, 10, Stage::kIdle}, {10, 30, Stage::kActive}, {30, 40, Stage::kPassive}};
+  EXPECT_EQ(stage_at(timeline, 0), Stage::kIdle);
+  EXPECT_EQ(stage_at(timeline, 9), Stage::kIdle);
+  EXPECT_EQ(stage_at(timeline, 10), Stage::kActive);
+  EXPECT_EQ(stage_at(timeline, 35), Stage::kPassive);
+  EXPECT_EQ(stage_at(timeline, 40), Stage::kIdle);  // outside -> idle
+}
+
+TEST(StageModel, StageSecondsSums) {
+  std::vector<StageInterval> timeline = {
+      {0, net::duration_from_seconds(5.0), Stage::kActive},
+      {net::duration_from_seconds(5.0), net::duration_from_seconds(8.0),
+       Stage::kIdle}};
+  const auto seconds = stage_seconds(timeline);
+  EXPECT_DOUBLE_EQ(seconds[static_cast<std::size_t>(Stage::kActive)], 5.0);
+  EXPECT_DOUBLE_EQ(seconds[static_cast<std::size_t>(Stage::kIdle)], 3.0);
+  EXPECT_DOUBLE_EQ(seconds[static_cast<std::size_t>(Stage::kPassive)], 0.0);
+}
+
+TEST(StageModel, ToStringNames) {
+  EXPECT_STREQ(to_string(Stage::kActive), "active");
+  EXPECT_STREQ(to_string(Stage::kPassive), "passive");
+  EXPECT_STREQ(to_string(Stage::kIdle), "idle");
+}
+
+/// Property sweep: every popular title generates a valid timeline.
+class StageTimelineSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(StageTimelineSweep, ValidForEveryTitle) {
+  const auto title = static_cast<GameTitle>(GetParam());
+  const StageMarkovModel model = StageMarkovModel::for_title(info(title));
+  ml::Rng rng(static_cast<std::uint64_t>(GetParam()) + 100);
+  const auto duration = net::duration_from_seconds(1200.0);
+  const auto timeline = model.generate(0, duration, rng);
+  ASSERT_FALSE(timeline.empty());
+  EXPECT_EQ(timeline.back().end, duration);
+  for (const StageInterval& interval : timeline)
+    EXPECT_GT(interval.duration(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTitles, StageTimelineSweep, ::testing::Range(0, 15));
+
+}  // namespace
+}  // namespace cgctx::sim

@@ -1,0 +1,96 @@
+#include "telemetry/aggregator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cgctx::telemetry {
+namespace {
+
+SessionSummary make_summary(const std::string& key, double minutes,
+                            double mbps, core::QoeLevel objective,
+                            core::QoeLevel effective) {
+  SessionSummary summary;
+  summary.key = key;
+  summary.duration_minutes = minutes;
+  summary.stage_minutes = {minutes * 0.5, minutes * 0.3, minutes * 0.2};
+  summary.mean_down_mbps = mbps;
+  summary.objective = objective;
+  summary.effective = effective;
+  return summary;
+}
+
+TEST(FleetAggregator, GroupsByKey) {
+  FleetAggregator agg;
+  agg.add(make_summary("Fortnite", 60, 30, core::QoeLevel::kGood,
+                       core::QoeLevel::kGood));
+  agg.add(make_summary("Fortnite", 30, 20, core::QoeLevel::kMedium,
+                       core::QoeLevel::kGood));
+  agg.add(make_summary("Hearthstone", 45, 5, core::QoeLevel::kBad,
+                       core::QoeLevel::kGood));
+  EXPECT_EQ(agg.total_sessions(), 3u);
+  ASSERT_EQ(agg.groups().size(), 2u);
+  const GroupStats& fortnite = agg.groups().at("Fortnite");
+  EXPECT_EQ(fortnite.sessions, 2u);
+  EXPECT_DOUBLE_EQ(fortnite.duration_minutes.mean(), 45.0);
+  EXPECT_DOUBLE_EQ(fortnite.mean_down_mbps.mean(), 25.0);
+}
+
+TEST(FleetAggregator, QoeFractions) {
+  FleetAggregator agg;
+  for (int i = 0; i < 8; ++i)
+    agg.add(make_summary("X", 10, 10, core::QoeLevel::kBad,
+                         core::QoeLevel::kGood));
+  for (int i = 0; i < 2; ++i)
+    agg.add(make_summary("X", 10, 10, core::QoeLevel::kGood,
+                         core::QoeLevel::kGood));
+  const GroupStats& group = agg.groups().at("X");
+  EXPECT_DOUBLE_EQ(group.objective_fraction(core::QoeLevel::kBad), 0.8);
+  EXPECT_DOUBLE_EQ(group.objective_fraction(core::QoeLevel::kGood), 0.2);
+  EXPECT_DOUBLE_EQ(group.effective_fraction(core::QoeLevel::kGood), 1.0);
+  EXPECT_DOUBLE_EQ(group.effective_fraction(core::QoeLevel::kBad), 0.0);
+}
+
+TEST(FleetAggregator, StageMinutesTracked) {
+  FleetAggregator agg;
+  agg.add(make_summary("Y", 100, 10, core::QoeLevel::kGood,
+                       core::QoeLevel::kGood));
+  const GroupStats& group = agg.groups().at("Y");
+  EXPECT_DOUBLE_EQ(group.stage_minutes[0].mean(), 50.0);
+  EXPECT_DOUBLE_EQ(group.stage_minutes[1].mean(), 30.0);
+  EXPECT_DOUBLE_EQ(group.stage_minutes[2].mean(), 20.0);
+}
+
+TEST(FleetAggregator, EmptyGroupFractionsAreZero) {
+  const GroupStats group;
+  EXPECT_DOUBLE_EQ(group.objective_fraction(core::QoeLevel::kGood), 0.0);
+}
+
+TEST(FleetAggregator, CsvHasHeaderAndOneRowPerGroup) {
+  FleetAggregator agg;
+  agg.add(make_summary("A", 10, 5, core::QoeLevel::kGood, core::QoeLevel::kGood));
+  agg.add(make_summary("B", 20, 8, core::QoeLevel::kBad, core::QoeLevel::kGood));
+  const std::string csv = agg.to_csv();
+  // Header + 2 rows = 3 newline-terminated lines.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
+  EXPECT_NE(csv.find("key,sessions"), std::string::npos);
+  EXPECT_NE(csv.find("A,1,"), std::string::npos);
+  EXPECT_NE(csv.find("B,1,"), std::string::npos);
+}
+
+TEST(Summarize, ConvertsReportToSummary) {
+  core::SessionReport report;
+  report.duration_s = 120.0;
+  report.stage_seconds = {60.0, 30.0, 30.0};
+  report.mean_down_mbps = 22.0;
+  report.objective_session = core::QoeLevel::kMedium;
+  report.effective_session = core::QoeLevel::kGood;
+  const SessionSummary summary = summarize(report, "Dota 2");
+  EXPECT_EQ(summary.key, "Dota 2");
+  EXPECT_DOUBLE_EQ(summary.duration_minutes, 2.0);
+  EXPECT_DOUBLE_EQ(summary.stage_minutes[0], 1.0);
+  EXPECT_DOUBLE_EQ(summary.mean_down_mbps, 22.0);
+  EXPECT_EQ(summary.objective, core::QoeLevel::kMedium);
+  EXPECT_EQ(summary.effective, core::QoeLevel::kGood);
+}
+
+}  // namespace
+}  // namespace cgctx::telemetry

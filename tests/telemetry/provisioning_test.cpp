@@ -1,0 +1,112 @@
+#include "telemetry/provisioning.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cgctx::telemetry {
+namespace {
+
+SessionSummary summary(const std::string& key, double minutes, double mbps) {
+  SessionSummary s;
+  s.key = key;
+  s.duration_minutes = minutes;
+  s.stage_minutes = {minutes * 0.6, minutes * 0.2, minutes * 0.2};
+  s.mean_down_mbps = mbps;
+  s.objective = core::QoeLevel::kGood;
+  s.effective = core::QoeLevel::kGood;
+  return s;
+}
+
+FleetAggregator demo_fleet() {
+  FleetAggregator fleet;
+  // A high-demand title: 20 sessions, ~60 min, 25-45 Mbps.
+  for (int i = 0; i < 20; ++i)
+    fleet.add(summary("Fortnite", 55 + i, 25.0 + i));
+  // A low-demand title: 10 sessions, ~45 min, 4-6 Mbps.
+  for (int i = 0; i < 10; ++i)
+    fleet.add(summary("Hearthstone", 44 + i % 3, 4.0 + 0.2 * i));
+  // A thin context: 2 sessions only.
+  fleet.add(summary("Rare Game", 30, 50));
+  fleet.add(summary("Rare Game", 32, 52));
+  return fleet;
+}
+
+TEST(Provisioning, CapacityTracksDemandPercentileWithHeadroom) {
+  ProvisioningAdvisor advisor;
+  advisor.learn(demo_fleet());
+  const auto fortnite = advisor.recommend("Fortnite");
+  ASSERT_TRUE(fortnite.has_value());
+  EXPECT_EQ(fortnite->context, "Fortnite");
+  // p95 of 25..44 is ~43; with 1.25 headroom ~54.
+  EXPECT_GT(fortnite->capacity_mbps, 45.0);
+  EXPECT_LT(fortnite->capacity_mbps, 60.0);
+  EXPECT_NEAR(fortnite->expected_minutes, 64.5, 1.0);
+  EXPECT_EQ(fortnite->evidence_sessions, 20u);
+}
+
+TEST(Provisioning, PriorityTiersFollowCapacity) {
+  ProvisioningAdvisor advisor;
+  advisor.learn(demo_fleet());
+  EXPECT_EQ(advisor.recommend("Fortnite")->priority, SlicePriority::kPremium);
+  EXPECT_EQ(advisor.recommend("Hearthstone")->priority,
+            SlicePriority::kBestEffort);
+}
+
+TEST(Provisioning, ThinContextsFallBackToFleetDefault) {
+  ProvisioningAdvisor advisor;
+  advisor.learn(demo_fleet());
+  const auto rare = advisor.recommend("Rare Game");
+  ASSERT_TRUE(rare.has_value());
+  EXPECT_EQ(rare->context, "(fleet default)");
+  const auto unknown = advisor.recommend("Never Seen");
+  ASSERT_TRUE(unknown.has_value());
+  EXPECT_EQ(unknown->context, "(fleet default)");
+}
+
+TEST(Provisioning, NoLearningMeansNoRecommendation) {
+  const ProvisioningAdvisor advisor;
+  EXPECT_FALSE(advisor.recommend("Fortnite").has_value());
+  EXPECT_FALSE(advisor.fleet_default().has_value());
+}
+
+TEST(Provisioning, AllListsOnlyWellSupportedContexts) {
+  ProvisioningAdvisor advisor;
+  advisor.learn(demo_fleet());
+  const auto all = advisor.all();
+  ASSERT_EQ(all.size(), 2u);  // Rare Game excluded (2 < min_sessions)
+  for (const auto& rec : all) EXPECT_NE(rec.context, "Rare Game");
+}
+
+TEST(Provisioning, LearningIsCumulative) {
+  ProvisioningAdvisor advisor;
+  FleetAggregator first;
+  for (int i = 0; i < 3; ++i) first.add(summary("Dota 2", 70, 20));
+  FleetAggregator second;
+  for (int i = 0; i < 3; ++i) second.add(summary("Dota 2", 90, 30));
+  advisor.learn(first);
+  advisor.learn(second);
+  const auto rec = advisor.recommend("Dota 2");
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->evidence_sessions, 6u);
+  EXPECT_NEAR(rec->expected_minutes, 80.0, 1e-9);
+}
+
+TEST(Provisioning, PolicyKnobsRespected) {
+  ProvisioningPolicy policy;
+  policy.capacity_percentile = 0.5;
+  policy.headroom = 1.0;
+  policy.min_sessions = 1;
+  ProvisioningAdvisor advisor(policy);
+  FleetAggregator fleet;
+  for (double mbps : {10.0, 20.0, 30.0}) fleet.add(summary("X", 10, mbps));
+  advisor.learn(fleet);
+  EXPECT_NEAR(advisor.recommend("X")->capacity_mbps, 20.0, 1e-9);
+}
+
+TEST(Provisioning, PriorityNames) {
+  EXPECT_STREQ(to_string(SlicePriority::kBestEffort), "best-effort");
+  EXPECT_STREQ(to_string(SlicePriority::kPrioritized), "prioritized");
+  EXPECT_STREQ(to_string(SlicePriority::kPremium), "premium");
+}
+
+}  // namespace
+}  // namespace cgctx::telemetry

@@ -1,0 +1,74 @@
+#include "telemetry/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cgctx::telemetry {
+namespace {
+
+TEST(SampleSeries, MeanAndCount) {
+  SampleSeries s;
+  s.add(1.0);
+  s.add(2.0);
+  s.add(3.0);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+}
+
+TEST(SampleSeries, EmptySeriesIsZero) {
+  const SampleSeries s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.5), 0.0);
+}
+
+TEST(SampleSeries, MinMax) {
+  SampleSeries s;
+  for (double v : {5.0, -2.0, 9.0, 3.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.min(), -2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(SampleSeries, Stddev) {
+  SampleSeries s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_NEAR(s.stddev(), 2.0, 1e-9);  // classic textbook example
+}
+
+TEST(SampleSeries, PercentilesInterpolate) {
+  SampleSeries s;
+  for (int i = 0; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 100.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.5), 50.0);
+  EXPECT_NEAR(s.percentile(0.25), 25.0, 1e-9);
+}
+
+TEST(SampleSeries, PercentileAfterUnsortedAdds) {
+  SampleSeries s;
+  for (double v : {9.0, 1.0, 5.0, 3.0, 7.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.percentile(0.5), 5.0);
+  // Adding after a percentile query still works.
+  s.add(0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+}
+
+TEST(SampleSeries, PercentileRejectsOutOfRange) {
+  SampleSeries s;
+  s.add(1.0);
+  EXPECT_THROW((void)s.percentile(-0.1), std::invalid_argument);
+  EXPECT_THROW((void)s.percentile(1.1), std::invalid_argument);
+}
+
+TEST(SampleSeries, SingleValueSeries) {
+  SampleSeries s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 42.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+}  // namespace
+}  // namespace cgctx::telemetry
