@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl01_relative_features.dir/bench_abl01_relative_features.cpp.o"
+  "CMakeFiles/bench_abl01_relative_features.dir/bench_abl01_relative_features.cpp.o.d"
+  "bench_abl01_relative_features"
+  "bench_abl01_relative_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl01_relative_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

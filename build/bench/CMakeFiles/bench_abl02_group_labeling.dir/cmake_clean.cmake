@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl02_group_labeling.dir/bench_abl02_group_labeling.cpp.o"
+  "CMakeFiles/bench_abl02_group_labeling.dir/bench_abl02_group_labeling.cpp.o.d"
+  "bench_abl02_group_labeling"
+  "bench_abl02_group_labeling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl02_group_labeling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_abl02_group_labeling.
+# This may be replaced when dependencies are built.

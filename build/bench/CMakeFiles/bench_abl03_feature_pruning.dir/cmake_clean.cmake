@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl03_feature_pruning.dir/bench_abl03_feature_pruning.cpp.o"
+  "CMakeFiles/bench_abl03_feature_pruning.dir/bench_abl03_feature_pruning.cpp.o.d"
+  "bench_abl03_feature_pruning"
+  "bench_abl03_feature_pruning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl03_feature_pruning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_abl03_feature_pruning.
+# This may be replaced when dependencies are built.

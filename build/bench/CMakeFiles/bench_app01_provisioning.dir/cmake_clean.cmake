@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_app01_provisioning.dir/bench_app01_provisioning.cpp.o"
+  "CMakeFiles/bench_app01_provisioning.dir/bench_app01_provisioning.cpp.o.d"
+  "bench_app01_provisioning"
+  "bench_app01_provisioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_app01_provisioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext01_gbt.dir/bench_ext01_gbt.cpp.o"
+  "CMakeFiles/bench_ext01_gbt.dir/bench_ext01_gbt.cpp.o.d"
+  "bench_ext01_gbt"
+  "bench_ext01_gbt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext01_gbt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_packet_groups.dir/bench_fig03_packet_groups.cpp.o"
+  "CMakeFiles/bench_fig03_packet_groups.dir/bench_fig03_packet_groups.cpp.o.d"
+  "bench_fig03_packet_groups"
+  "bench_fig03_packet_groups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_packet_groups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

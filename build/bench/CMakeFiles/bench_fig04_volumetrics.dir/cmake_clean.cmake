@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_volumetrics.dir/bench_fig04_volumetrics.cpp.o"
+  "CMakeFiles/bench_fig04_volumetrics.dir/bench_fig04_volumetrics.cpp.o.d"
+  "bench_fig04_volumetrics"
+  "bench_fig04_volumetrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_volumetrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_attr_importance.dir/bench_fig09_attr_importance.cpp.o"
+  "CMakeFiles/bench_fig09_attr_importance.dir/bench_fig09_attr_importance.cpp.o.d"
+  "bench_fig09_attr_importance"
+  "bench_fig09_attr_importance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_attr_importance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

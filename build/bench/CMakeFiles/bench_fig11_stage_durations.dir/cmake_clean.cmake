@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_stage_durations.dir/bench_fig11_stage_durations.cpp.o"
+  "CMakeFiles/bench_fig11_stage_durations.dir/bench_fig11_stage_durations.cpp.o.d"
+  "bench_fig11_stage_durations"
+  "bench_fig11_stage_durations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_stage_durations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

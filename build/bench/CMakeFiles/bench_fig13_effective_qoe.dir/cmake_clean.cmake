@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_effective_qoe.dir/bench_fig13_effective_qoe.cpp.o"
+  "CMakeFiles/bench_fig13_effective_qoe.dir/bench_fig13_effective_qoe.cpp.o.d"
+  "bench_fig13_effective_qoe"
+  "bench_fig13_effective_qoe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_effective_qoe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_par01_v_sweep.dir/bench_par01_v_sweep.cpp.o"
+  "CMakeFiles/bench_par01_v_sweep.dir/bench_par01_v_sweep.cpp.o.d"
+  "bench_par01_v_sweep"
+  "bench_par01_v_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_par01_v_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_par01_v_sweep.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab01_catalog.dir/bench_tab01_catalog.cpp.o"
+  "CMakeFiles/bench_tab01_catalog.dir/bench_tab01_catalog.cpp.o.d"
+  "bench_tab01_catalog"
+  "bench_tab01_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab01_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

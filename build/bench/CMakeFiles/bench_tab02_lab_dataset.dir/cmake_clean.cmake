@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab02_lab_dataset.dir/bench_tab02_lab_dataset.cpp.o"
+  "CMakeFiles/bench_tab02_lab_dataset.dir/bench_tab02_lab_dataset.cpp.o.d"
+  "bench_tab02_lab_dataset"
+  "bench_tab02_lab_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab02_lab_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

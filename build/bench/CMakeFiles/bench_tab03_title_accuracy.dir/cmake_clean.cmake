@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab03_title_accuracy.dir/bench_tab03_title_accuracy.cpp.o"
+  "CMakeFiles/bench_tab03_title_accuracy.dir/bench_tab03_title_accuracy.cpp.o.d"
+  "bench_tab03_title_accuracy"
+  "bench_tab03_title_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab03_title_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab05_transition_importance.dir/bench_tab05_transition_importance.cpp.o"
+  "CMakeFiles/bench_tab05_transition_importance.dir/bench_tab05_transition_importance.cpp.o.d"
+  "bench_tab05_transition_importance"
+  "bench_tab05_transition_importance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab05_transition_importance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_val01_field_accuracy.dir/bench_val01_field_accuracy.cpp.o"
+  "CMakeFiles/bench_val01_field_accuracy.dir/bench_val01_field_accuracy.cpp.o.d"
+  "bench_val01_field_accuracy"
+  "bench_val01_field_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_val01_field_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

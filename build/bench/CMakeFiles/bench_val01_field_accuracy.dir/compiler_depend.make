@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_val01_field_accuracy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_val02_qoe_estimator.dir/bench_val02_qoe_estimator.cpp.o"
+  "CMakeFiles/bench_val02_qoe_estimator.dir/bench_val02_qoe_estimator.cpp.o.d"
+  "bench_val02_qoe_estimator"
+  "bench_val02_qoe_estimator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_val02_qoe_estimator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

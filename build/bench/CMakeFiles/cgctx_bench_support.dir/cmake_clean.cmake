@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgctx_bench_support.dir/common/bench_support.cpp.o"
+  "CMakeFiles/cgctx_bench_support.dir/common/bench_support.cpp.o.d"
+  "libcgctx_bench_support.a"
+  "libcgctx_bench_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgctx_bench_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcgctx_bench_support.a"
+)

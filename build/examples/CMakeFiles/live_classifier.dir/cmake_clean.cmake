@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_classifier.dir/live_classifier.cpp.o"
+  "CMakeFiles/live_classifier.dir/live_classifier.cpp.o.d"
+  "live_classifier"
+  "live_classifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_classifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

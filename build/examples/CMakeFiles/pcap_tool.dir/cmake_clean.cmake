@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcap_tool.dir/pcap_tool.cpp.o"
+  "CMakeFiles/pcap_tool.dir/pcap_tool.cpp.o.d"
+  "pcap_tool"
+  "pcap_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcap_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_models.dir/train_models.cpp.o"
+  "CMakeFiles/train_models.dir/train_models.cpp.o.d"
+  "train_models"
+  "train_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

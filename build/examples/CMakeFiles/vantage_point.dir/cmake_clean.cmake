@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vantage_point.dir/vantage_point.cpp.o"
+  "CMakeFiles/vantage_point.dir/vantage_point.cpp.o.d"
+  "vantage_point"
+  "vantage_point.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vantage_point.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/flow_detector.cpp" "src/core/CMakeFiles/cgctx_core.dir/flow_detector.cpp.o" "gcc" "src/core/CMakeFiles/cgctx_core.dir/flow_detector.cpp.o.d"
+  "/root/repo/src/core/launch_attributes.cpp" "src/core/CMakeFiles/cgctx_core.dir/launch_attributes.cpp.o" "gcc" "src/core/CMakeFiles/cgctx_core.dir/launch_attributes.cpp.o.d"
+  "/root/repo/src/core/model_suite.cpp" "src/core/CMakeFiles/cgctx_core.dir/model_suite.cpp.o" "gcc" "src/core/CMakeFiles/cgctx_core.dir/model_suite.cpp.o.d"
+  "/root/repo/src/core/multi_session_probe.cpp" "src/core/CMakeFiles/cgctx_core.dir/multi_session_probe.cpp.o" "gcc" "src/core/CMakeFiles/cgctx_core.dir/multi_session_probe.cpp.o.d"
+  "/root/repo/src/core/packet_groups.cpp" "src/core/CMakeFiles/cgctx_core.dir/packet_groups.cpp.o" "gcc" "src/core/CMakeFiles/cgctx_core.dir/packet_groups.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/cgctx_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/cgctx_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/qoe.cpp" "src/core/CMakeFiles/cgctx_core.dir/qoe.cpp.o" "gcc" "src/core/CMakeFiles/cgctx_core.dir/qoe.cpp.o.d"
+  "/root/repo/src/core/qoe_estimator.cpp" "src/core/CMakeFiles/cgctx_core.dir/qoe_estimator.cpp.o" "gcc" "src/core/CMakeFiles/cgctx_core.dir/qoe_estimator.cpp.o.d"
+  "/root/repo/src/core/stage_classifier.cpp" "src/core/CMakeFiles/cgctx_core.dir/stage_classifier.cpp.o" "gcc" "src/core/CMakeFiles/cgctx_core.dir/stage_classifier.cpp.o.d"
+  "/root/repo/src/core/streaming_analyzer.cpp" "src/core/CMakeFiles/cgctx_core.dir/streaming_analyzer.cpp.o" "gcc" "src/core/CMakeFiles/cgctx_core.dir/streaming_analyzer.cpp.o.d"
+  "/root/repo/src/core/title_classifier.cpp" "src/core/CMakeFiles/cgctx_core.dir/title_classifier.cpp.o" "gcc" "src/core/CMakeFiles/cgctx_core.dir/title_classifier.cpp.o.d"
+  "/root/repo/src/core/training.cpp" "src/core/CMakeFiles/cgctx_core.dir/training.cpp.o" "gcc" "src/core/CMakeFiles/cgctx_core.dir/training.cpp.o.d"
+  "/root/repo/src/core/transition_model.cpp" "src/core/CMakeFiles/cgctx_core.dir/transition_model.cpp.o" "gcc" "src/core/CMakeFiles/cgctx_core.dir/transition_model.cpp.o.d"
+  "/root/repo/src/core/volumetric_tracker.cpp" "src/core/CMakeFiles/cgctx_core.dir/volumetric_tracker.cpp.o" "gcc" "src/core/CMakeFiles/cgctx_core.dir/volumetric_tracker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/cgctx_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/cgctx_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cgctx_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgctx_core.dir/flow_detector.cpp.o"
+  "CMakeFiles/cgctx_core.dir/flow_detector.cpp.o.d"
+  "CMakeFiles/cgctx_core.dir/launch_attributes.cpp.o"
+  "CMakeFiles/cgctx_core.dir/launch_attributes.cpp.o.d"
+  "CMakeFiles/cgctx_core.dir/model_suite.cpp.o"
+  "CMakeFiles/cgctx_core.dir/model_suite.cpp.o.d"
+  "CMakeFiles/cgctx_core.dir/multi_session_probe.cpp.o"
+  "CMakeFiles/cgctx_core.dir/multi_session_probe.cpp.o.d"
+  "CMakeFiles/cgctx_core.dir/packet_groups.cpp.o"
+  "CMakeFiles/cgctx_core.dir/packet_groups.cpp.o.d"
+  "CMakeFiles/cgctx_core.dir/pipeline.cpp.o"
+  "CMakeFiles/cgctx_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/cgctx_core.dir/qoe.cpp.o"
+  "CMakeFiles/cgctx_core.dir/qoe.cpp.o.d"
+  "CMakeFiles/cgctx_core.dir/qoe_estimator.cpp.o"
+  "CMakeFiles/cgctx_core.dir/qoe_estimator.cpp.o.d"
+  "CMakeFiles/cgctx_core.dir/stage_classifier.cpp.o"
+  "CMakeFiles/cgctx_core.dir/stage_classifier.cpp.o.d"
+  "CMakeFiles/cgctx_core.dir/streaming_analyzer.cpp.o"
+  "CMakeFiles/cgctx_core.dir/streaming_analyzer.cpp.o.d"
+  "CMakeFiles/cgctx_core.dir/title_classifier.cpp.o"
+  "CMakeFiles/cgctx_core.dir/title_classifier.cpp.o.d"
+  "CMakeFiles/cgctx_core.dir/training.cpp.o"
+  "CMakeFiles/cgctx_core.dir/training.cpp.o.d"
+  "CMakeFiles/cgctx_core.dir/transition_model.cpp.o"
+  "CMakeFiles/cgctx_core.dir/transition_model.cpp.o.d"
+  "CMakeFiles/cgctx_core.dir/volumetric_tracker.cpp.o"
+  "CMakeFiles/cgctx_core.dir/volumetric_tracker.cpp.o.d"
+  "libcgctx_core.a"
+  "libcgctx_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgctx_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/classifier.cpp" "src/ml/CMakeFiles/cgctx_ml.dir/classifier.cpp.o" "gcc" "src/ml/CMakeFiles/cgctx_ml.dir/classifier.cpp.o.d"
+  "/root/repo/src/ml/csv.cpp" "src/ml/CMakeFiles/cgctx_ml.dir/csv.cpp.o" "gcc" "src/ml/CMakeFiles/cgctx_ml.dir/csv.cpp.o.d"
+  "/root/repo/src/ml/dataset.cpp" "src/ml/CMakeFiles/cgctx_ml.dir/dataset.cpp.o" "gcc" "src/ml/CMakeFiles/cgctx_ml.dir/dataset.cpp.o.d"
+  "/root/repo/src/ml/decision_tree.cpp" "src/ml/CMakeFiles/cgctx_ml.dir/decision_tree.cpp.o" "gcc" "src/ml/CMakeFiles/cgctx_ml.dir/decision_tree.cpp.o.d"
+  "/root/repo/src/ml/feature_selection.cpp" "src/ml/CMakeFiles/cgctx_ml.dir/feature_selection.cpp.o" "gcc" "src/ml/CMakeFiles/cgctx_ml.dir/feature_selection.cpp.o.d"
+  "/root/repo/src/ml/gradient_boosting.cpp" "src/ml/CMakeFiles/cgctx_ml.dir/gradient_boosting.cpp.o" "gcc" "src/ml/CMakeFiles/cgctx_ml.dir/gradient_boosting.cpp.o.d"
+  "/root/repo/src/ml/grid_search.cpp" "src/ml/CMakeFiles/cgctx_ml.dir/grid_search.cpp.o" "gcc" "src/ml/CMakeFiles/cgctx_ml.dir/grid_search.cpp.o.d"
+  "/root/repo/src/ml/importance.cpp" "src/ml/CMakeFiles/cgctx_ml.dir/importance.cpp.o" "gcc" "src/ml/CMakeFiles/cgctx_ml.dir/importance.cpp.o.d"
+  "/root/repo/src/ml/knn.cpp" "src/ml/CMakeFiles/cgctx_ml.dir/knn.cpp.o" "gcc" "src/ml/CMakeFiles/cgctx_ml.dir/knn.cpp.o.d"
+  "/root/repo/src/ml/metrics.cpp" "src/ml/CMakeFiles/cgctx_ml.dir/metrics.cpp.o" "gcc" "src/ml/CMakeFiles/cgctx_ml.dir/metrics.cpp.o.d"
+  "/root/repo/src/ml/random_forest.cpp" "src/ml/CMakeFiles/cgctx_ml.dir/random_forest.cpp.o" "gcc" "src/ml/CMakeFiles/cgctx_ml.dir/random_forest.cpp.o.d"
+  "/root/repo/src/ml/scaler.cpp" "src/ml/CMakeFiles/cgctx_ml.dir/scaler.cpp.o" "gcc" "src/ml/CMakeFiles/cgctx_ml.dir/scaler.cpp.o.d"
+  "/root/repo/src/ml/svm.cpp" "src/ml/CMakeFiles/cgctx_ml.dir/svm.cpp.o" "gcc" "src/ml/CMakeFiles/cgctx_ml.dir/svm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

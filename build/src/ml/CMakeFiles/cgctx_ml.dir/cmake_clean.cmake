@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgctx_ml.dir/classifier.cpp.o"
+  "CMakeFiles/cgctx_ml.dir/classifier.cpp.o.d"
+  "CMakeFiles/cgctx_ml.dir/csv.cpp.o"
+  "CMakeFiles/cgctx_ml.dir/csv.cpp.o.d"
+  "CMakeFiles/cgctx_ml.dir/dataset.cpp.o"
+  "CMakeFiles/cgctx_ml.dir/dataset.cpp.o.d"
+  "CMakeFiles/cgctx_ml.dir/decision_tree.cpp.o"
+  "CMakeFiles/cgctx_ml.dir/decision_tree.cpp.o.d"
+  "CMakeFiles/cgctx_ml.dir/feature_selection.cpp.o"
+  "CMakeFiles/cgctx_ml.dir/feature_selection.cpp.o.d"
+  "CMakeFiles/cgctx_ml.dir/gradient_boosting.cpp.o"
+  "CMakeFiles/cgctx_ml.dir/gradient_boosting.cpp.o.d"
+  "CMakeFiles/cgctx_ml.dir/grid_search.cpp.o"
+  "CMakeFiles/cgctx_ml.dir/grid_search.cpp.o.d"
+  "CMakeFiles/cgctx_ml.dir/importance.cpp.o"
+  "CMakeFiles/cgctx_ml.dir/importance.cpp.o.d"
+  "CMakeFiles/cgctx_ml.dir/knn.cpp.o"
+  "CMakeFiles/cgctx_ml.dir/knn.cpp.o.d"
+  "CMakeFiles/cgctx_ml.dir/metrics.cpp.o"
+  "CMakeFiles/cgctx_ml.dir/metrics.cpp.o.d"
+  "CMakeFiles/cgctx_ml.dir/random_forest.cpp.o"
+  "CMakeFiles/cgctx_ml.dir/random_forest.cpp.o.d"
+  "CMakeFiles/cgctx_ml.dir/scaler.cpp.o"
+  "CMakeFiles/cgctx_ml.dir/scaler.cpp.o.d"
+  "CMakeFiles/cgctx_ml.dir/svm.cpp.o"
+  "CMakeFiles/cgctx_ml.dir/svm.cpp.o.d"
+  "libcgctx_ml.a"
+  "libcgctx_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgctx_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/byte_io.cpp" "src/net/CMakeFiles/cgctx_net.dir/byte_io.cpp.o" "gcc" "src/net/CMakeFiles/cgctx_net.dir/byte_io.cpp.o.d"
+  "/root/repo/src/net/flow_table.cpp" "src/net/CMakeFiles/cgctx_net.dir/flow_table.cpp.o" "gcc" "src/net/CMakeFiles/cgctx_net.dir/flow_table.cpp.o.d"
+  "/root/repo/src/net/framing.cpp" "src/net/CMakeFiles/cgctx_net.dir/framing.cpp.o" "gcc" "src/net/CMakeFiles/cgctx_net.dir/framing.cpp.o.d"
+  "/root/repo/src/net/packet.cpp" "src/net/CMakeFiles/cgctx_net.dir/packet.cpp.o" "gcc" "src/net/CMakeFiles/cgctx_net.dir/packet.cpp.o.d"
+  "/root/repo/src/net/pcap.cpp" "src/net/CMakeFiles/cgctx_net.dir/pcap.cpp.o" "gcc" "src/net/CMakeFiles/cgctx_net.dir/pcap.cpp.o.d"
+  "/root/repo/src/net/pcapng.cpp" "src/net/CMakeFiles/cgctx_net.dir/pcapng.cpp.o" "gcc" "src/net/CMakeFiles/cgctx_net.dir/pcapng.cpp.o.d"
+  "/root/repo/src/net/rtp.cpp" "src/net/CMakeFiles/cgctx_net.dir/rtp.cpp.o" "gcc" "src/net/CMakeFiles/cgctx_net.dir/rtp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgctx_net.dir/byte_io.cpp.o"
+  "CMakeFiles/cgctx_net.dir/byte_io.cpp.o.d"
+  "CMakeFiles/cgctx_net.dir/flow_table.cpp.o"
+  "CMakeFiles/cgctx_net.dir/flow_table.cpp.o.d"
+  "CMakeFiles/cgctx_net.dir/framing.cpp.o"
+  "CMakeFiles/cgctx_net.dir/framing.cpp.o.d"
+  "CMakeFiles/cgctx_net.dir/packet.cpp.o"
+  "CMakeFiles/cgctx_net.dir/packet.cpp.o.d"
+  "CMakeFiles/cgctx_net.dir/pcap.cpp.o"
+  "CMakeFiles/cgctx_net.dir/pcap.cpp.o.d"
+  "CMakeFiles/cgctx_net.dir/pcapng.cpp.o"
+  "CMakeFiles/cgctx_net.dir/pcapng.cpp.o.d"
+  "CMakeFiles/cgctx_net.dir/rtp.cpp.o"
+  "CMakeFiles/cgctx_net.dir/rtp.cpp.o.d"
+  "libcgctx_net.a"
+  "libcgctx_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgctx_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/catalog.cpp" "src/sim/CMakeFiles/cgctx_sim.dir/catalog.cpp.o" "gcc" "src/sim/CMakeFiles/cgctx_sim.dir/catalog.cpp.o.d"
+  "/root/repo/src/sim/config.cpp" "src/sim/CMakeFiles/cgctx_sim.dir/config.cpp.o" "gcc" "src/sim/CMakeFiles/cgctx_sim.dir/config.cpp.o.d"
+  "/root/repo/src/sim/cross_traffic.cpp" "src/sim/CMakeFiles/cgctx_sim.dir/cross_traffic.cpp.o" "gcc" "src/sim/CMakeFiles/cgctx_sim.dir/cross_traffic.cpp.o.d"
+  "/root/repo/src/sim/fleet.cpp" "src/sim/CMakeFiles/cgctx_sim.dir/fleet.cpp.o" "gcc" "src/sim/CMakeFiles/cgctx_sim.dir/fleet.cpp.o.d"
+  "/root/repo/src/sim/lab_dataset.cpp" "src/sim/CMakeFiles/cgctx_sim.dir/lab_dataset.cpp.o" "gcc" "src/sim/CMakeFiles/cgctx_sim.dir/lab_dataset.cpp.o.d"
+  "/root/repo/src/sim/launch_signature.cpp" "src/sim/CMakeFiles/cgctx_sim.dir/launch_signature.cpp.o" "gcc" "src/sim/CMakeFiles/cgctx_sim.dir/launch_signature.cpp.o.d"
+  "/root/repo/src/sim/platform_anatomy.cpp" "src/sim/CMakeFiles/cgctx_sim.dir/platform_anatomy.cpp.o" "gcc" "src/sim/CMakeFiles/cgctx_sim.dir/platform_anatomy.cpp.o.d"
+  "/root/repo/src/sim/session.cpp" "src/sim/CMakeFiles/cgctx_sim.dir/session.cpp.o" "gcc" "src/sim/CMakeFiles/cgctx_sim.dir/session.cpp.o.d"
+  "/root/repo/src/sim/stage_model.cpp" "src/sim/CMakeFiles/cgctx_sim.dir/stage_model.cpp.o" "gcc" "src/sim/CMakeFiles/cgctx_sim.dir/stage_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/cgctx_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/cgctx_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgctx_sim.dir/catalog.cpp.o"
+  "CMakeFiles/cgctx_sim.dir/catalog.cpp.o.d"
+  "CMakeFiles/cgctx_sim.dir/config.cpp.o"
+  "CMakeFiles/cgctx_sim.dir/config.cpp.o.d"
+  "CMakeFiles/cgctx_sim.dir/cross_traffic.cpp.o"
+  "CMakeFiles/cgctx_sim.dir/cross_traffic.cpp.o.d"
+  "CMakeFiles/cgctx_sim.dir/fleet.cpp.o"
+  "CMakeFiles/cgctx_sim.dir/fleet.cpp.o.d"
+  "CMakeFiles/cgctx_sim.dir/lab_dataset.cpp.o"
+  "CMakeFiles/cgctx_sim.dir/lab_dataset.cpp.o.d"
+  "CMakeFiles/cgctx_sim.dir/launch_signature.cpp.o"
+  "CMakeFiles/cgctx_sim.dir/launch_signature.cpp.o.d"
+  "CMakeFiles/cgctx_sim.dir/platform_anatomy.cpp.o"
+  "CMakeFiles/cgctx_sim.dir/platform_anatomy.cpp.o.d"
+  "CMakeFiles/cgctx_sim.dir/session.cpp.o"
+  "CMakeFiles/cgctx_sim.dir/session.cpp.o.d"
+  "CMakeFiles/cgctx_sim.dir/stage_model.cpp.o"
+  "CMakeFiles/cgctx_sim.dir/stage_model.cpp.o.d"
+  "libcgctx_sim.a"
+  "libcgctx_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgctx_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

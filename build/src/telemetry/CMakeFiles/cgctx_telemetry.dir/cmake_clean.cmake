@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgctx_telemetry.dir/aggregator.cpp.o"
+  "CMakeFiles/cgctx_telemetry.dir/aggregator.cpp.o.d"
+  "CMakeFiles/cgctx_telemetry.dir/provisioning.cpp.o"
+  "CMakeFiles/cgctx_telemetry.dir/provisioning.cpp.o.d"
+  "CMakeFiles/cgctx_telemetry.dir/stats.cpp.o"
+  "CMakeFiles/cgctx_telemetry.dir/stats.cpp.o.d"
+  "libcgctx_telemetry.a"
+  "libcgctx_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgctx_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

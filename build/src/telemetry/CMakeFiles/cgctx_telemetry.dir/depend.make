@@ -1,0 +1,2 @@
+# Empty dependencies file for cgctx_telemetry.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/flow_detector_test.cpp" "tests/CMakeFiles/core_tests.dir/core/flow_detector_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/flow_detector_test.cpp.o.d"
+  "/root/repo/tests/core/launch_attributes_test.cpp" "tests/CMakeFiles/core_tests.dir/core/launch_attributes_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/launch_attributes_test.cpp.o.d"
+  "/root/repo/tests/core/model_suite_test.cpp" "tests/CMakeFiles/core_tests.dir/core/model_suite_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/model_suite_test.cpp.o.d"
+  "/root/repo/tests/core/multi_session_probe_test.cpp" "tests/CMakeFiles/core_tests.dir/core/multi_session_probe_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/multi_session_probe_test.cpp.o.d"
+  "/root/repo/tests/core/packet_groups_test.cpp" "tests/CMakeFiles/core_tests.dir/core/packet_groups_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/packet_groups_test.cpp.o.d"
+  "/root/repo/tests/core/pipeline_test.cpp" "tests/CMakeFiles/core_tests.dir/core/pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/pipeline_test.cpp.o.d"
+  "/root/repo/tests/core/qoe_estimator_test.cpp" "tests/CMakeFiles/core_tests.dir/core/qoe_estimator_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/qoe_estimator_test.cpp.o.d"
+  "/root/repo/tests/core/qoe_test.cpp" "tests/CMakeFiles/core_tests.dir/core/qoe_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/qoe_test.cpp.o.d"
+  "/root/repo/tests/core/stage_classifier_test.cpp" "tests/CMakeFiles/core_tests.dir/core/stage_classifier_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/stage_classifier_test.cpp.o.d"
+  "/root/repo/tests/core/streaming_analyzer_test.cpp" "tests/CMakeFiles/core_tests.dir/core/streaming_analyzer_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/streaming_analyzer_test.cpp.o.d"
+  "/root/repo/tests/core/title_classifier_test.cpp" "tests/CMakeFiles/core_tests.dir/core/title_classifier_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/title_classifier_test.cpp.o.d"
+  "/root/repo/tests/core/training_test.cpp" "tests/CMakeFiles/core_tests.dir/core/training_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/training_test.cpp.o.d"
+  "/root/repo/tests/core/transition_model_test.cpp" "tests/CMakeFiles/core_tests.dir/core/transition_model_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/transition_model_test.cpp.o.d"
+  "/root/repo/tests/core/volumetric_tracker_test.cpp" "tests/CMakeFiles/core_tests.dir/core/volumetric_tracker_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/volumetric_tracker_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/cgctx_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/cgctx_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cgctx_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cgctx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/cgctx_telemetry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

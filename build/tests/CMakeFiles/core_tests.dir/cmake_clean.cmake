@@ -1,0 +1,38 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/flow_detector_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/flow_detector_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/launch_attributes_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/launch_attributes_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/model_suite_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/model_suite_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/multi_session_probe_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/multi_session_probe_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/packet_groups_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/packet_groups_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/pipeline_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/pipeline_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/qoe_estimator_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/qoe_estimator_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/qoe_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/qoe_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/stage_classifier_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/stage_classifier_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/streaming_analyzer_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/streaming_analyzer_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/title_classifier_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/title_classifier_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/training_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/training_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/transition_model_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/transition_model_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/volumetric_tracker_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/volumetric_tracker_test.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

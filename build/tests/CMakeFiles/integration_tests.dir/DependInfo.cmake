@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/end_to_end_test.cpp" "tests/CMakeFiles/integration_tests.dir/integration/end_to_end_test.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/end_to_end_test.cpp.o.d"
+  "/root/repo/tests/integration/title_sweep_test.cpp" "tests/CMakeFiles/integration_tests.dir/integration/title_sweep_test.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/title_sweep_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/cgctx_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/cgctx_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cgctx_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cgctx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/cgctx_telemetry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ml/classifier_test.cpp" "tests/CMakeFiles/ml_tests.dir/ml/classifier_test.cpp.o" "gcc" "tests/CMakeFiles/ml_tests.dir/ml/classifier_test.cpp.o.d"
+  "/root/repo/tests/ml/csv_test.cpp" "tests/CMakeFiles/ml_tests.dir/ml/csv_test.cpp.o" "gcc" "tests/CMakeFiles/ml_tests.dir/ml/csv_test.cpp.o.d"
+  "/root/repo/tests/ml/dataset_test.cpp" "tests/CMakeFiles/ml_tests.dir/ml/dataset_test.cpp.o" "gcc" "tests/CMakeFiles/ml_tests.dir/ml/dataset_test.cpp.o.d"
+  "/root/repo/tests/ml/decision_tree_test.cpp" "tests/CMakeFiles/ml_tests.dir/ml/decision_tree_test.cpp.o" "gcc" "tests/CMakeFiles/ml_tests.dir/ml/decision_tree_test.cpp.o.d"
+  "/root/repo/tests/ml/feature_selection_test.cpp" "tests/CMakeFiles/ml_tests.dir/ml/feature_selection_test.cpp.o" "gcc" "tests/CMakeFiles/ml_tests.dir/ml/feature_selection_test.cpp.o.d"
+  "/root/repo/tests/ml/gradient_boosting_test.cpp" "tests/CMakeFiles/ml_tests.dir/ml/gradient_boosting_test.cpp.o" "gcc" "tests/CMakeFiles/ml_tests.dir/ml/gradient_boosting_test.cpp.o.d"
+  "/root/repo/tests/ml/grid_search_test.cpp" "tests/CMakeFiles/ml_tests.dir/ml/grid_search_test.cpp.o" "gcc" "tests/CMakeFiles/ml_tests.dir/ml/grid_search_test.cpp.o.d"
+  "/root/repo/tests/ml/importance_test.cpp" "tests/CMakeFiles/ml_tests.dir/ml/importance_test.cpp.o" "gcc" "tests/CMakeFiles/ml_tests.dir/ml/importance_test.cpp.o.d"
+  "/root/repo/tests/ml/knn_test.cpp" "tests/CMakeFiles/ml_tests.dir/ml/knn_test.cpp.o" "gcc" "tests/CMakeFiles/ml_tests.dir/ml/knn_test.cpp.o.d"
+  "/root/repo/tests/ml/metrics_test.cpp" "tests/CMakeFiles/ml_tests.dir/ml/metrics_test.cpp.o" "gcc" "tests/CMakeFiles/ml_tests.dir/ml/metrics_test.cpp.o.d"
+  "/root/repo/tests/ml/random_forest_test.cpp" "tests/CMakeFiles/ml_tests.dir/ml/random_forest_test.cpp.o" "gcc" "tests/CMakeFiles/ml_tests.dir/ml/random_forest_test.cpp.o.d"
+  "/root/repo/tests/ml/rng_test.cpp" "tests/CMakeFiles/ml_tests.dir/ml/rng_test.cpp.o" "gcc" "tests/CMakeFiles/ml_tests.dir/ml/rng_test.cpp.o.d"
+  "/root/repo/tests/ml/scaler_test.cpp" "tests/CMakeFiles/ml_tests.dir/ml/scaler_test.cpp.o" "gcc" "tests/CMakeFiles/ml_tests.dir/ml/scaler_test.cpp.o.d"
+  "/root/repo/tests/ml/svm_test.cpp" "tests/CMakeFiles/ml_tests.dir/ml/svm_test.cpp.o" "gcc" "tests/CMakeFiles/ml_tests.dir/ml/svm_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/cgctx_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/cgctx_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cgctx_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cgctx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/cgctx_telemetry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,38 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_tests.dir/ml/classifier_test.cpp.o"
+  "CMakeFiles/ml_tests.dir/ml/classifier_test.cpp.o.d"
+  "CMakeFiles/ml_tests.dir/ml/csv_test.cpp.o"
+  "CMakeFiles/ml_tests.dir/ml/csv_test.cpp.o.d"
+  "CMakeFiles/ml_tests.dir/ml/dataset_test.cpp.o"
+  "CMakeFiles/ml_tests.dir/ml/dataset_test.cpp.o.d"
+  "CMakeFiles/ml_tests.dir/ml/decision_tree_test.cpp.o"
+  "CMakeFiles/ml_tests.dir/ml/decision_tree_test.cpp.o.d"
+  "CMakeFiles/ml_tests.dir/ml/feature_selection_test.cpp.o"
+  "CMakeFiles/ml_tests.dir/ml/feature_selection_test.cpp.o.d"
+  "CMakeFiles/ml_tests.dir/ml/gradient_boosting_test.cpp.o"
+  "CMakeFiles/ml_tests.dir/ml/gradient_boosting_test.cpp.o.d"
+  "CMakeFiles/ml_tests.dir/ml/grid_search_test.cpp.o"
+  "CMakeFiles/ml_tests.dir/ml/grid_search_test.cpp.o.d"
+  "CMakeFiles/ml_tests.dir/ml/importance_test.cpp.o"
+  "CMakeFiles/ml_tests.dir/ml/importance_test.cpp.o.d"
+  "CMakeFiles/ml_tests.dir/ml/knn_test.cpp.o"
+  "CMakeFiles/ml_tests.dir/ml/knn_test.cpp.o.d"
+  "CMakeFiles/ml_tests.dir/ml/metrics_test.cpp.o"
+  "CMakeFiles/ml_tests.dir/ml/metrics_test.cpp.o.d"
+  "CMakeFiles/ml_tests.dir/ml/random_forest_test.cpp.o"
+  "CMakeFiles/ml_tests.dir/ml/random_forest_test.cpp.o.d"
+  "CMakeFiles/ml_tests.dir/ml/rng_test.cpp.o"
+  "CMakeFiles/ml_tests.dir/ml/rng_test.cpp.o.d"
+  "CMakeFiles/ml_tests.dir/ml/scaler_test.cpp.o"
+  "CMakeFiles/ml_tests.dir/ml/scaler_test.cpp.o.d"
+  "CMakeFiles/ml_tests.dir/ml/svm_test.cpp.o"
+  "CMakeFiles/ml_tests.dir/ml/svm_test.cpp.o.d"
+  "ml_tests"
+  "ml_tests.pdb"
+  "ml_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/net/byte_io_test.cpp" "tests/CMakeFiles/net_tests.dir/net/byte_io_test.cpp.o" "gcc" "tests/CMakeFiles/net_tests.dir/net/byte_io_test.cpp.o.d"
+  "/root/repo/tests/net/flow_table_test.cpp" "tests/CMakeFiles/net_tests.dir/net/flow_table_test.cpp.o" "gcc" "tests/CMakeFiles/net_tests.dir/net/flow_table_test.cpp.o.d"
+  "/root/repo/tests/net/framing_test.cpp" "tests/CMakeFiles/net_tests.dir/net/framing_test.cpp.o" "gcc" "tests/CMakeFiles/net_tests.dir/net/framing_test.cpp.o.d"
+  "/root/repo/tests/net/fuzz_test.cpp" "tests/CMakeFiles/net_tests.dir/net/fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/net_tests.dir/net/fuzz_test.cpp.o.d"
+  "/root/repo/tests/net/packet_test.cpp" "tests/CMakeFiles/net_tests.dir/net/packet_test.cpp.o" "gcc" "tests/CMakeFiles/net_tests.dir/net/packet_test.cpp.o.d"
+  "/root/repo/tests/net/pcap_test.cpp" "tests/CMakeFiles/net_tests.dir/net/pcap_test.cpp.o" "gcc" "tests/CMakeFiles/net_tests.dir/net/pcap_test.cpp.o.d"
+  "/root/repo/tests/net/pcapng_test.cpp" "tests/CMakeFiles/net_tests.dir/net/pcapng_test.cpp.o" "gcc" "tests/CMakeFiles/net_tests.dir/net/pcapng_test.cpp.o.d"
+  "/root/repo/tests/net/rtp_test.cpp" "tests/CMakeFiles/net_tests.dir/net/rtp_test.cpp.o" "gcc" "tests/CMakeFiles/net_tests.dir/net/rtp_test.cpp.o.d"
+  "/root/repo/tests/net/time_test.cpp" "tests/CMakeFiles/net_tests.dir/net/time_test.cpp.o" "gcc" "tests/CMakeFiles/net_tests.dir/net/time_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/cgctx_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/cgctx_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cgctx_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cgctx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/cgctx_telemetry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

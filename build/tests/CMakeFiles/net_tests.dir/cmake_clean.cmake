@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_tests.dir/net/byte_io_test.cpp.o"
+  "CMakeFiles/net_tests.dir/net/byte_io_test.cpp.o.d"
+  "CMakeFiles/net_tests.dir/net/flow_table_test.cpp.o"
+  "CMakeFiles/net_tests.dir/net/flow_table_test.cpp.o.d"
+  "CMakeFiles/net_tests.dir/net/framing_test.cpp.o"
+  "CMakeFiles/net_tests.dir/net/framing_test.cpp.o.d"
+  "CMakeFiles/net_tests.dir/net/fuzz_test.cpp.o"
+  "CMakeFiles/net_tests.dir/net/fuzz_test.cpp.o.d"
+  "CMakeFiles/net_tests.dir/net/packet_test.cpp.o"
+  "CMakeFiles/net_tests.dir/net/packet_test.cpp.o.d"
+  "CMakeFiles/net_tests.dir/net/pcap_test.cpp.o"
+  "CMakeFiles/net_tests.dir/net/pcap_test.cpp.o.d"
+  "CMakeFiles/net_tests.dir/net/pcapng_test.cpp.o"
+  "CMakeFiles/net_tests.dir/net/pcapng_test.cpp.o.d"
+  "CMakeFiles/net_tests.dir/net/rtp_test.cpp.o"
+  "CMakeFiles/net_tests.dir/net/rtp_test.cpp.o.d"
+  "CMakeFiles/net_tests.dir/net/time_test.cpp.o"
+  "CMakeFiles/net_tests.dir/net/time_test.cpp.o.d"
+  "net_tests"
+  "net_tests.pdb"
+  "net_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

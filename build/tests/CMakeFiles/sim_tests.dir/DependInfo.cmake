@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/catalog_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/catalog_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/catalog_test.cpp.o.d"
+  "/root/repo/tests/sim/config_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/config_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/config_test.cpp.o.d"
+  "/root/repo/tests/sim/cross_traffic_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/cross_traffic_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/cross_traffic_test.cpp.o.d"
+  "/root/repo/tests/sim/fleet_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/fleet_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/fleet_test.cpp.o.d"
+  "/root/repo/tests/sim/launch_signature_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/launch_signature_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/launch_signature_test.cpp.o.d"
+  "/root/repo/tests/sim/platform_anatomy_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/platform_anatomy_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/platform_anatomy_test.cpp.o.d"
+  "/root/repo/tests/sim/platform_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/platform_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/platform_test.cpp.o.d"
+  "/root/repo/tests/sim/session_edge_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/session_edge_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/session_edge_test.cpp.o.d"
+  "/root/repo/tests/sim/session_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/session_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/session_test.cpp.o.d"
+  "/root/repo/tests/sim/stage_model_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/stage_model_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/stage_model_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/cgctx_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/cgctx_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cgctx_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cgctx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/cgctx_telemetry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_tests.dir/sim/catalog_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/catalog_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/config_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/config_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/cross_traffic_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/cross_traffic_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/fleet_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/fleet_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/launch_signature_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/launch_signature_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/platform_anatomy_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/platform_anatomy_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/platform_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/platform_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/session_edge_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/session_edge_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/session_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/session_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/stage_model_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/stage_model_test.cpp.o.d"
+  "sim_tests"
+  "sim_tests.pdb"
+  "sim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

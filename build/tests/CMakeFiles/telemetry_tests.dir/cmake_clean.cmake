@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telemetry_tests.dir/telemetry/aggregator_test.cpp.o"
+  "CMakeFiles/telemetry_tests.dir/telemetry/aggregator_test.cpp.o.d"
+  "CMakeFiles/telemetry_tests.dir/telemetry/provisioning_test.cpp.o"
+  "CMakeFiles/telemetry_tests.dir/telemetry/provisioning_test.cpp.o.d"
+  "CMakeFiles/telemetry_tests.dir/telemetry/stats_test.cpp.o"
+  "CMakeFiles/telemetry_tests.dir/telemetry/stats_test.cpp.o.d"
+  "telemetry_tests"
+  "telemetry_tests.pdb"
+  "telemetry_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telemetry_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
