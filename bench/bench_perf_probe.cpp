@@ -1,0 +1,132 @@
+// Sharded vantage-point probe throughput (PERF-PROBE).
+//
+// Replays one synthesized multi-subscriber wire (sim/fleet packet-
+// fidelity replay: concurrent gaming sessions + household cross traffic)
+// through the probe engine at 1/2/4/8 shards and reports packets/sec,
+// drops, queue high-water marks, state bounds, and per-packet latency
+// percentiles. Also verifies that the single-shard engine reproduces
+// MultiSessionProbe's reports byte-identically — sharding is a pure
+// scale-out transform, not a behavior change.
+//
+// Scaling expectation: >= 2x packets/sec at 4 shards vs 1 shard on a
+// host with >= 4 hardware threads. On smaller hosts the engine still
+// runs correctly but time-slices, so the bench prints the detected
+// concurrency and flags under-provisioned runs instead of pretending.
+#include <chrono>
+#include <iomanip>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "common/bench_support.hpp"
+#include "core/multi_session_probe.hpp"
+#include "core/sharded_probe.hpp"
+#include "sim/fleet.hpp"
+
+using namespace cgctx;
+
+namespace {
+
+struct RunResult {
+  double seconds = 0.0;
+  double packets_per_sec = 0.0;
+  std::vector<core::SessionReport> reports;
+  core::ProbeStatsSnapshot stats;
+};
+
+RunResult run_sharded(const std::vector<net::PacketRecord>& wire,
+                      core::PipelineModels models, std::size_t shards) {
+  core::ShardedProbeParams params;
+  params.probe.pipeline = core::default_pipeline_params();
+  params.num_shards = shards;
+  RunResult result;
+  core::ShardedProbe probe(models, params,
+                           [&result](const core::SessionReport& report) {
+                             result.reports.push_back(report);
+                           });
+  const auto begin = std::chrono::steady_clock::now();
+  for (const net::PacketRecord& pkt : wire) probe.push(pkt);
+  probe.flush();
+  const auto end = std::chrono::steady_clock::now();
+  result.seconds = std::chrono::duration<double>(end - begin).count();
+  result.packets_per_sec =
+      static_cast<double>(wire.size()) / result.seconds;
+  result.stats = probe.stats();
+  return result;
+}
+
+RunResult run_baseline(const std::vector<net::PacketRecord>& wire,
+                       core::PipelineModels models) {
+  RunResult result;
+  core::MultiSessionProbe probe(
+      models, core::MultiSessionProbeParams{core::default_pipeline_params()},
+      [&result](const core::SessionReport& report) {
+        result.reports.push_back(report);
+      });
+  const auto begin = std::chrono::steady_clock::now();
+  for (const net::PacketRecord& pkt : wire) probe.push(pkt);
+  probe.flush();
+  const auto end = std::chrono::steady_clock::now();
+  result.seconds = std::chrono::duration<double>(end - begin).count();
+  result.packets_per_sec =
+      static_cast<double>(wire.size()) / result.seconds;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "== PERF-PROBE: sharded multi-subscriber probe throughput ==\n";
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::cout << "hardware threads: " << hw << "\n";
+  if (hw < 4)
+    std::cout << "NOTE: < 4 hardware threads; shard workers time-slice one "
+                 "core,\nso multi-shard speedups cannot materialize on this "
+                 "host.\n";
+
+  sim::FleetReplayOptions options;
+  options.sessions = 8;
+  options.gameplay_seconds = 40.0;
+  options.start_spread_s = 20.0;
+  options.cross_traffic_flows = 9;
+  const sim::FleetReplay replay = sim::build_fleet_replay(options);
+  std::cout << "wire: " << replay.wire.size() << " packets, "
+            << replay.session_flows.size() << " gaming sessions, "
+            << options.cross_traffic_flows << " cross-traffic flows\n\n";
+
+  const core::PipelineModels models = bench::bench_models().models();
+
+  const RunResult baseline = run_baseline(replay.wire, models);
+  std::cout << "MultiSessionProbe (inline, no shards): " << std::fixed
+            << std::setprecision(0) << baseline.packets_per_sec
+            << " pkts/s, " << baseline.reports.size() << " reports\n\n";
+
+  std::cout << std::setw(7) << "shards" << std::setw(12) << "pkts/s"
+            << std::setw(10) << "speedup" << std::setw(9) << "drops"
+            << std::setw(8) << "q_hwm" << std::setw(10) << "evicted"
+            << std::setw(9) << "reports" << std::setw(10) << "p50_us"
+            << std::setw(10) << "p99_us" << "\n";
+  double one_shard_pps = 0.0;
+  for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
+    const RunResult run = run_sharded(replay.wire, models, shards);
+    if (shards == 1) one_shard_pps = run.packets_per_sec;
+    const auto latency = run.stats.latency();
+    std::cout << std::setw(7) << shards << std::setw(12)
+              << std::setprecision(0) << run.packets_per_sec << std::setw(9)
+              << std::setprecision(2)
+              << run.packets_per_sec / one_shard_pps << "x" << std::setw(9)
+              << run.stats.packets_dropped << std::setw(8)
+              << run.stats.queue_depth_hwm << std::setw(10)
+              << run.stats.flow_evictions << std::setw(9)
+              << run.reports.size() << std::setw(10) << std::setprecision(1)
+              << latency.p50_us << std::setw(10) << latency.p99_us << "\n";
+
+    if (shards == 1) {
+      const bool identical = run.reports == baseline.reports;
+      std::cout << "        single-shard reports identical to "
+                   "MultiSessionProbe: "
+                << (identical ? "yes" : "NO — REGRESSION") << "\n";
+    }
+  }
+  return 0;
+}

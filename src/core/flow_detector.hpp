@@ -41,6 +41,9 @@ struct FlowDetectorParams {
 struct DetectionResult {
   Platform platform = Platform::kGeforceNow;
   net::FiveTuple flow;  ///< canonical tuple of the detected flow
+
+  friend bool operator==(const DetectionResult&,
+                         const DetectionResult&) = default;
 };
 
 class CloudGamingFlowDetector {

@@ -21,6 +21,7 @@ MultiSessionProbe::MultiSessionProbe(PipelineModels models,
       params_(std::move(params)),
       on_report_(std::move(on_report)),
       on_event_(std::move(on_event)),
+      table_(params_.flow_idle_timeout),
       detector_(params_.pipeline.detector) {
   if (models_.title == nullptr || models_.stage == nullptr ||
       models_.pattern == nullptr)
@@ -31,13 +32,26 @@ void MultiSessionProbe::retire(const net::FiveTuple& key) {
   auto it = sessions_.find(key);
   if (it == sessions_.end()) return;
   const SessionReport report = it->second.analyzer->finish();
+  // Drop any residual flow-table entry so a later session on the same
+  // five-tuple starts its detection from fresh statistics instead of a
+  // lifetime mean diluted by the idle gap. Done before erasing the
+  // session: `key` may alias the session map node being destroyed.
+  table_.erase(key);
   sessions_.erase(it);
   ++reports_;
+  if (stats_ != nullptr) stats_->count_report();
   if (on_report_) on_report_(report);
 }
 
 void MultiSessionProbe::push(const net::PacketRecord& pkt) {
-  // Periodic idle sweep, driven by packet time.
+  if (!saw_packet_) {
+    saw_packet_ = true;
+    last_sweep_ = pkt.timestamp;
+  }
+
+  // Periodic idle sweep, driven by packet time: retire silent sessions
+  // and evict idle undetected flows (cross traffic churns constantly; an
+  // unswept table grows without bound at vantage-point scale).
   if (pkt.timestamp - last_sweep_ > 5 * net::kNanosPerSecond) {
     last_sweep_ = pkt.timestamp;
     std::vector<net::FiveTuple> idle;
@@ -45,6 +59,7 @@ void MultiSessionProbe::push(const net::PacketRecord& pkt) {
       if (pkt.timestamp - session.last_seen > params_.session_idle_timeout)
         idle.push_back(key);
     for (const net::FiveTuple& key : idle) retire(key);
+    table_.evict_idle(pkt.timestamp);
   }
 
   const net::FiveTuple key = pkt.tuple.canonical();
@@ -52,6 +67,7 @@ void MultiSessionProbe::push(const net::PacketRecord& pkt) {
   if (live != sessions_.end()) {
     live->second.analyzer->push(pkt);
     live->second.last_seen = pkt.timestamp;
+    sync_stats();
     return;
   }
 
@@ -63,11 +79,17 @@ void MultiSessionProbe::push(const net::PacketRecord& pkt) {
 
   const net::FlowState& flow = table_.add(pkt);
   const auto detection = detector_.detect(flow);
-  if (!detection) return;
+  if (!detection) {
+    sync_stats();
+    return;
+  }
 
   // New session: spin up an analyzer and replay its flow's lookback
   // packets (the analyzer runs its own detection over them, which
-  // re-fires quickly since the whole flow history is present).
+  // re-fires quickly since the whole flow history is present). The
+  // promoted tuple leaves the shared table — its packets bypass it from
+  // now on, and stale cumulative stats must not greet a future session
+  // that reuses the tuple.
   Session session;
   session.analyzer = std::make_unique<StreamingAnalyzer>(
       models_, params_.pipeline, on_event_);
@@ -75,6 +97,20 @@ void MultiSessionProbe::push(const net::PacketRecord& pkt) {
   for (const net::PacketRecord& earlier : lookback_)
     if (earlier.tuple.canonical() == key) session.analyzer->push(earlier);
   sessions_.emplace(key, std::move(session));
+  table_.erase(key);
+  if (stats_ != nullptr) stats_->count_session_started();
+  sync_stats();
+}
+
+void MultiSessionProbe::sync_stats() {
+  if (stats_ == nullptr) return;
+  const std::uint64_t evictions = table_.evictions();
+  if (evictions > evictions_reported_) {
+    stats_->add_evictions(evictions - evictions_reported_);
+    evictions_reported_ = evictions;
+  }
+  stats_->set_live_flows(table_.size());
+  stats_->set_live_sessions(sessions_.size());
 }
 
 void MultiSessionProbe::flush() {

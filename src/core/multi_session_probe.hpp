@@ -12,6 +12,7 @@
 #include <map>
 #include <memory>
 
+#include "core/probe_stats.hpp"
 #include "core/streaming_analyzer.hpp"
 
 namespace cgctx::core {
@@ -21,6 +22,9 @@ struct MultiSessionProbeParams {
   /// A detected session whose flow has been silent this long is retired
   /// (its report emitted).
   net::Duration session_idle_timeout = 30 * net::kNanosPerSecond;
+  /// An undetected flow silent this long is evicted from the shared flow
+  /// table (cross traffic must not accumulate state forever).
+  net::Duration flow_idle_timeout = 60 * net::kNanosPerSecond;
 };
 
 class MultiSessionProbe {
@@ -39,8 +43,19 @@ class MultiSessionProbe {
   /// Retires all live sessions, emitting their reports.
   void flush();
 
+  /// Optional counter sink (e.g. a ShardedProbe shard's ProbeStats). The
+  /// probe records evictions, session starts, reports, and the live
+  /// flow/session gauges into it; it must outlive the probe.
+  void set_stats(ProbeStats* stats) { stats_ = stats; }
+
   [[nodiscard]] std::size_t live_sessions() const { return sessions_.size(); }
   [[nodiscard]] std::size_t reports_emitted() const { return reports_; }
+  /// Current size of the shared (undetected-traffic) flow table.
+  [[nodiscard]] std::size_t flow_table_size() const { return table_.size(); }
+  /// Idle flows evicted from the shared table over the probe's lifetime.
+  [[nodiscard]] std::uint64_t flow_evictions() const {
+    return table_.evictions();
+  }
 
  private:
   struct Session {
@@ -49,6 +64,8 @@ class MultiSessionProbe {
   };
 
   void retire(const net::FiveTuple& key);
+  /// Forwards eviction deltas and live gauges to stats_ (no-op unset).
+  void sync_stats();
 
   PipelineModels models_;
   MultiSessionProbeParams params_;
@@ -63,7 +80,14 @@ class MultiSessionProbe {
   /// Rolling lookback of not-yet-attributed traffic (last ~10 s).
   std::deque<net::PacketRecord> lookback_;
   std::size_t reports_ = 0;
+  /// Packet time of the last idle sweep; initialized from the first
+  /// packet (timestamps are wall-clock nanoseconds, so starting from 0
+  /// would fire an immediate empty sweep on every capture).
   net::Timestamp last_sweep_ = 0;
+  bool saw_packet_ = false;
+  ProbeStats* stats_ = nullptr;
+  /// Evictions already forwarded to stats_ (table_ counts lifetime).
+  std::uint64_t evictions_reported_ = 0;
 };
 
 }  // namespace cgctx::core

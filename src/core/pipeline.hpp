@@ -58,6 +58,8 @@ struct SlotRecord {
   double frame_rate = 0.0;
   double rtt_ms = 0.0;
   double loss_rate = 0.0;
+
+  friend bool operator==(const SlotRecord&, const SlotRecord&) = default;
 };
 
 /// The per-session record produced by the pipeline.
@@ -78,6 +80,10 @@ struct SessionReport {
   std::array<double, kNumStageLabels> stage_seconds{};
   double mean_down_mbps = 0.0;
   double duration_s = 0.0;
+
+  /// Exact field-wise equality (doubles compared bitwise-equal); used to
+  /// verify that probe refactors reproduce reports identically.
+  friend bool operator==(const SessionReport&, const SessionReport&) = default;
 };
 
 class RealtimePipeline {

@@ -1,0 +1,146 @@
+#include "core/probe_stats.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+
+namespace cgctx::core {
+
+std::size_t LatencyHistogram::bucket_index(std::uint64_t nanos) {
+  // Values below 2^kSubBits land in the linear bottom range one-to-one;
+  // above it, the top kSubBits bits after the leading one select the
+  // sub-bucket within the value's octave.
+  if (nanos < (1ull << kSubBits)) return static_cast<std::size_t>(nanos);
+  const unsigned msb = std::bit_width(nanos) - 1;  // >= kSubBits
+  const unsigned octave = std::min(msb, kOctaves + kSubBits - 1);
+  const std::uint64_t clamped =
+      octave == msb ? nanos : (1ull << (octave + 1)) - 1;
+  const std::uint64_t sub =
+      (clamped >> (octave - kSubBits)) & ((1ull << kSubBits) - 1);
+  return ((octave - kSubBits + 1) << kSubBits) +
+         static_cast<std::size_t>(sub);
+}
+
+std::uint64_t LatencyHistogram::bucket_floor(std::size_t index) {
+  if (index < (1ull << kSubBits)) return index;
+  const unsigned octave =
+      static_cast<unsigned>(index >> kSubBits) - 1 + kSubBits;
+  const std::uint64_t sub = index & ((1ull << kSubBits) - 1);
+  return (1ull << octave) + (sub << (octave - kSubBits));
+}
+
+void LatencyHistogram::record(std::uint64_t nanos) {
+  buckets_[bucket_index(nanos)].fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> LatencyHistogram::snapshot() const {
+  std::vector<std::uint64_t> out(kNumBuckets);
+  for (std::size_t i = 0; i < kNumBuckets; ++i)
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  return out;
+}
+
+LatencySummary summarize_latency(std::span<const std::uint64_t> buckets,
+                                 std::uint64_t max_ns) {
+  LatencySummary summary;
+  for (const std::uint64_t count : buckets) summary.samples += count;
+  summary.max_us = static_cast<double>(max_ns) / 1e3;
+  if (summary.samples == 0) return summary;
+
+  const auto value_at = [&](double fraction) {
+    const auto target = static_cast<std::uint64_t>(
+        fraction * static_cast<double>(summary.samples - 1));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+      seen += buckets[i];
+      if (seen > target)
+        return static_cast<double>(LatencyHistogram::bucket_floor(i)) / 1e3;
+    }
+    return summary.max_us;
+  };
+  summary.p50_us = value_at(0.50);
+  summary.p90_us = value_at(0.90);
+  summary.p99_us = value_at(0.99);
+  return summary;
+}
+
+LatencySummary ProbeStatsSnapshot::latency() const {
+  return summarize_latency(latency_buckets, latency_max_ns);
+}
+
+std::string ProbeStatsSnapshot::to_string() const {
+  const LatencySummary lat = latency();
+  std::ostringstream os;
+  os << "packets: in=" << packets_in << " processed=" << packets_processed
+     << " dropped=" << packets_dropped << "\n"
+     << "flows:   live=" << live_flows << " evicted=" << flow_evictions
+     << "\n"
+     << "sessions: live=" << live_sessions
+     << " started=" << sessions_started << " reports=" << reports_emitted
+     << "\n"
+     << "queue depth high-water mark: " << queue_depth_hwm << "\n"
+     << "per-packet latency (" << lat.samples << " samples): p50="
+     << lat.p50_us << "us p90=" << lat.p90_us << "us p99=" << lat.p99_us
+     << "us max=" << lat.max_us << "us";
+  return os.str();
+}
+
+void ProbeStats::observe_queue_depth(std::uint64_t depth) {
+  std::uint64_t seen = queue_depth_hwm_.load(std::memory_order_relaxed);
+  while (depth > seen &&
+         !queue_depth_hwm_.compare_exchange_weak(
+             seen, depth, std::memory_order_relaxed)) {
+  }
+}
+
+void ProbeStats::record_latency_ns(std::uint64_t nanos) {
+  latency_.record(nanos);
+  std::uint64_t seen = latency_max_ns_.load(std::memory_order_relaxed);
+  while (nanos > seen &&
+         !latency_max_ns_.compare_exchange_weak(seen, nanos,
+                                                std::memory_order_relaxed)) {
+  }
+}
+
+ProbeStatsSnapshot ProbeStats::snapshot() const {
+  ProbeStatsSnapshot snap;
+  snap.packets_in = packets_in_.load(std::memory_order_relaxed);
+  snap.packets_dropped = packets_dropped_.load(std::memory_order_relaxed);
+  snap.packets_processed = packets_processed_.load(std::memory_order_relaxed);
+  snap.flow_evictions = flow_evictions_.load(std::memory_order_relaxed);
+  snap.sessions_started = sessions_started_.load(std::memory_order_relaxed);
+  snap.reports_emitted = reports_emitted_.load(std::memory_order_relaxed);
+  snap.live_flows = live_flows_.load(std::memory_order_relaxed);
+  snap.live_sessions = live_sessions_.load(std::memory_order_relaxed);
+  snap.queue_depth_hwm = queue_depth_hwm_.load(std::memory_order_relaxed);
+  snap.latency_max_ns = latency_max_ns_.load(std::memory_order_relaxed);
+  snap.latency_buckets = latency_.snapshot();
+  return snap;
+}
+
+ProbeStatsSnapshot ProbeStats::aggregate(
+    std::span<const ProbeStatsSnapshot> shards) {
+  ProbeStatsSnapshot total;
+  total.latency_buckets.assign(LatencyHistogram::kNumBuckets, 0);
+  for (const ProbeStatsSnapshot& s : shards) {
+    total.packets_in += s.packets_in;
+    total.packets_dropped += s.packets_dropped;
+    total.packets_processed += s.packets_processed;
+    total.flow_evictions += s.flow_evictions;
+    total.sessions_started += s.sessions_started;
+    total.reports_emitted += s.reports_emitted;
+    total.live_flows += s.live_flows;
+    total.live_sessions += s.live_sessions;
+    total.queue_depth_hwm = std::max(total.queue_depth_hwm,
+                                     s.queue_depth_hwm);
+    total.latency_max_ns = std::max(total.latency_max_ns, s.latency_max_ns);
+    for (std::size_t i = 0;
+         i < std::min(total.latency_buckets.size(),
+                      s.latency_buckets.size());
+         ++i)
+      total.latency_buckets[i] += s.latency_buckets[i];
+  }
+  return total;
+}
+
+}  // namespace cgctx::core

@@ -1,0 +1,129 @@
+// Probe observability: counters, gauges, and latency percentiles.
+//
+// A vantage-point probe is only operable if its health is visible while
+// it runs: is the capture thread keeping up (drops, queue high-water
+// marks), is state bounded (live flows, evictions), and what does the
+// per-packet processing latency distribution look like. ProbeStats is
+// the per-shard sink for those signals — every mutator is a relaxed
+// atomic so the packet path never takes a lock, and snapshot() is safe
+// to call from any thread (monitoring, benches, tests) while workers
+// keep counting.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace cgctx::core {
+
+/// Log-linear histogram of nanosecond durations (HdrHistogram-style):
+/// each power-of-two range is split into 16 linear sub-buckets, giving
+/// ~6% relative resolution over [0, ~4.4 s] with a fixed 576-counter
+/// footprint and lock-free recording.
+class LatencyHistogram {
+ public:
+  static constexpr unsigned kSubBits = 4;  ///< sub-buckets per octave: 16
+  static constexpr unsigned kOctaves = 32;  ///< covers up to 2^32 ns
+  static constexpr std::size_t kNumBuckets = (kOctaves + 1) << kSubBits;
+
+  void record(std::uint64_t nanos);
+
+  /// Bucket index for a value (exposed for the bucket math tests).
+  [[nodiscard]] static std::size_t bucket_index(std::uint64_t nanos);
+  /// Lower bound of a bucket's value range, the inverse of bucket_index.
+  [[nodiscard]] static std::uint64_t bucket_floor(std::size_t index);
+
+  /// Relaxed-read copy of all counters.
+  [[nodiscard]] std::vector<std::uint64_t> snapshot() const;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kNumBuckets> buckets_{};
+};
+
+/// Percentile summary computed from histogram buckets.
+struct LatencySummary {
+  std::uint64_t samples = 0;
+  double p50_us = 0.0;
+  double p90_us = 0.0;
+  double p99_us = 0.0;
+  double max_us = 0.0;
+};
+
+/// Summarizes histogram bucket counts (as returned by
+/// LatencyHistogram::snapshot, or several of them summed element-wise).
+/// `max_ns` is the exact observed maximum, carried separately because
+/// buckets only bound it from below.
+LatencySummary summarize_latency(std::span<const std::uint64_t> buckets,
+                                 std::uint64_t max_ns);
+
+/// Point-in-time view of one probe's (or one shard's) counters. Also the
+/// aggregation unit: ProbeStats::aggregate sums counters, maxes the
+/// high-water marks, and merges latency histograms across shards.
+struct ProbeStatsSnapshot {
+  std::uint64_t packets_in = 0;        ///< accepted into a shard queue
+  std::uint64_t packets_dropped = 0;   ///< rejected by the overflow policy
+  std::uint64_t packets_processed = 0; ///< fully pushed through a probe
+  std::uint64_t flow_evictions = 0;    ///< idle flows dropped from tables
+  std::uint64_t sessions_started = 0;  ///< flows promoted to sessions
+  std::uint64_t reports_emitted = 0;   ///< sessions retired with a report
+  std::uint64_t live_flows = 0;        ///< gauge: current flow-table size
+  std::uint64_t live_sessions = 0;     ///< gauge: current session count
+  std::uint64_t queue_depth_hwm = 0;   ///< high-water mark (max on merge)
+  std::uint64_t latency_max_ns = 0;
+  std::vector<std::uint64_t> latency_buckets;  ///< LatencyHistogram counts
+
+  [[nodiscard]] LatencySummary latency() const;
+  /// Multi-line human-readable block (benches, operator logging).
+  [[nodiscard]] std::string to_string() const;
+};
+
+class ProbeStats {
+ public:
+  void count_packet_in() { add(packets_in_); }
+  void count_drop() { add(packets_dropped_); }
+  void count_processed() { add(packets_processed_); }
+  void add_evictions(std::uint64_t n) { add(flow_evictions_, n); }
+  void count_session_started() { add(sessions_started_); }
+  void count_report() { add(reports_emitted_); }
+
+  void set_live_flows(std::uint64_t n) {
+    live_flows_.store(n, std::memory_order_relaxed);
+  }
+  void set_live_sessions(std::uint64_t n) {
+    live_sessions_.store(n, std::memory_order_relaxed);
+  }
+  /// Raises the queue high-water mark to `depth` if it exceeds it.
+  void observe_queue_depth(std::uint64_t depth);
+
+  void record_latency_ns(std::uint64_t nanos);
+
+  [[nodiscard]] ProbeStatsSnapshot snapshot() const;
+
+  /// Element-wise merge: sums counters, maxes high-water marks, adds
+  /// latency histograms. Snapshots with empty bucket vectors are fine.
+  static ProbeStatsSnapshot aggregate(
+      std::span<const ProbeStatsSnapshot> shards);
+
+ private:
+  using Counter = std::atomic<std::uint64_t>;
+  static void add(Counter& c, std::uint64_t n = 1) {
+    c.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  Counter packets_in_{0};
+  Counter packets_dropped_{0};
+  Counter packets_processed_{0};
+  Counter flow_evictions_{0};
+  Counter sessions_started_{0};
+  Counter reports_emitted_{0};
+  Counter live_flows_{0};
+  Counter live_sessions_{0};
+  Counter queue_depth_hwm_{0};
+  Counter latency_max_ns_{0};
+  LatencyHistogram latency_;
+};
+
+}  // namespace cgctx::core

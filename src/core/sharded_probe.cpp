@@ -1,0 +1,176 @@
+#include "core/sharded_probe.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace cgctx::core {
+
+const char* to_string(OverflowPolicy policy) {
+  switch (policy) {
+    case OverflowPolicy::kDropNewest: return "drop-newest";
+    case OverflowPolicy::kBackpressure: return "backpressure";
+  }
+  return "?";
+}
+
+/// One worker: a bounded SPSC queue (capture thread -> worker) plus a
+/// private MultiSessionProbe. The worker drains the queue in batches
+/// (one lock round-trip per batch, not per packet) so the queue mutex
+/// stays cold even at line rate.
+struct ShardedProbe::Shard {
+  std::mutex mu;
+  std::condition_variable data_ready;
+  std::condition_variable space_ready;
+  std::vector<net::PacketRecord> queue;  // bounded by params.queue_capacity
+  bool closed = false;
+
+  ProbeStats stats;
+  MultiSessionProbe probe;
+  std::uint32_t latency_tick = 0;
+  std::thread worker;
+
+  Shard(PipelineModels models, const MultiSessionProbeParams& params,
+        MultiSessionProbe::ReportCallback on_report,
+        StreamingAnalyzer::EventCallback on_event)
+      : probe(models, params, std::move(on_report), std::move(on_event)) {
+    probe.set_stats(&stats);
+  }
+};
+
+ShardedProbe::ShardedProbe(PipelineModels models, ShardedProbeParams params,
+                           ReportCallback on_report,
+                           StreamingAnalyzer::EventCallback on_event)
+    : params_(std::move(params)), on_report_(std::move(on_report)) {
+  if (params_.num_shards == 0)
+    throw std::invalid_argument("ShardedProbe: num_shards must be >= 1");
+  if (params_.queue_capacity == 0)
+    throw std::invalid_argument("ShardedProbe: queue_capacity must be >= 1");
+
+  // Per-shard report sink: serialize across workers, then forward.
+  const auto sink = [this](const SessionReport& report) {
+    const std::lock_guard<std::mutex> lock(sink_mu_);
+    ++reports_;
+    if (on_report_) on_report_(report);
+  };
+  // Events are serialized through the same mutex so downstream consumers
+  // never see interleaved callbacks from two shards.
+  StreamingAnalyzer::EventCallback event_sink;
+  if (on_event) {
+    event_sink = [this, on_event = std::move(on_event)](
+                     const StreamEvent& event) {
+      const std::lock_guard<std::mutex> lock(sink_mu_);
+      on_event(event);
+    };
+  }
+
+  shards_.reserve(params_.num_shards);
+  for (std::size_t i = 0; i < params_.num_shards; ++i) {
+    shards_.push_back(
+        std::make_unique<Shard>(models, params_.probe, sink, event_sink));
+    shards_.back()->queue.reserve(params_.queue_capacity);
+  }
+  for (const auto& shard : shards_) {
+    Shard& s = *shard;
+    s.worker = std::thread([this, &s] {
+      std::vector<net::PacketRecord> batch;
+      batch.reserve(params_.queue_capacity);
+      for (;;) {
+        {
+          std::unique_lock<std::mutex> lock(s.mu);
+          s.data_ready.wait(lock,
+                            [&s] { return s.closed || !s.queue.empty(); });
+          if (s.queue.empty()) break;  // closed and drained
+          batch.clear();
+          batch.swap(s.queue);
+        }
+        s.space_ready.notify_one();
+        const bool sample_latency = params_.latency_sample_stride > 0;
+        for (const net::PacketRecord& pkt : batch) {
+          if (sample_latency &&
+              ++s.latency_tick >= params_.latency_sample_stride) {
+            s.latency_tick = 0;
+            const auto begin = std::chrono::steady_clock::now();
+            s.probe.push(pkt);
+            const auto end = std::chrono::steady_clock::now();
+            s.stats.record_latency_ns(static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    end - begin)
+                    .count()));
+          } else {
+            s.probe.push(pkt);
+          }
+          s.stats.count_processed();
+        }
+      }
+      s.probe.flush();
+    });
+  }
+}
+
+ShardedProbe::~ShardedProbe() { flush(); }
+
+std::size_t ShardedProbe::shard_of(const net::FiveTuple& canonical) const {
+  return net::flow_hash(canonical) % shards_.size();
+}
+
+bool ShardedProbe::push(const net::PacketRecord& pkt) {
+  Shard& s = *shards_[shard_of(pkt.tuple.canonical())];
+  {
+    std::unique_lock<std::mutex> lock(s.mu);
+    if (s.closed) {
+      s.stats.count_drop();
+      return false;
+    }
+    if (s.queue.size() >= params_.queue_capacity) {
+      bool has_space = false;
+      if (params_.overflow == OverflowPolicy::kBackpressure) {
+        has_space = s.space_ready.wait_for(
+            lock, params_.backpressure_timeout, [this, &s] {
+              return s.closed || s.queue.size() < params_.queue_capacity;
+            });
+        has_space = has_space && !s.closed;
+      }
+      if (!has_space) {
+        s.stats.count_drop();
+        return false;
+      }
+    }
+    s.queue.push_back(pkt);
+    s.stats.count_packet_in();
+    s.stats.observe_queue_depth(s.queue.size());
+  }
+  s.data_ready.notify_one();
+  return true;
+}
+
+void ShardedProbe::flush() {
+  if (flushed_) return;
+  flushed_ = true;
+  for (const auto& shard : shards_) {
+    {
+      const std::lock_guard<std::mutex> lock(shard->mu);
+      shard->closed = true;
+    }
+    shard->data_ready.notify_one();
+    shard->space_ready.notify_one();
+  }
+  for (const auto& shard : shards_)
+    if (shard->worker.joinable()) shard->worker.join();
+}
+
+ProbeStatsSnapshot ShardedProbe::stats() const {
+  std::vector<ProbeStatsSnapshot> snaps;
+  snaps.reserve(shards_.size());
+  for (const auto& shard : shards_) snaps.push_back(shard->stats.snapshot());
+  return ProbeStats::aggregate(snaps);
+}
+
+std::size_t ShardedProbe::reports_emitted() const {
+  const std::lock_guard<std::mutex> lock(sink_mu_);
+  return reports_;
+}
+
+}  // namespace cgctx::core

@@ -1,0 +1,105 @@
+// Sharded, multi-core vantage-point probe engine.
+//
+// One MultiSessionProbe keeps up with a handful of subscribers; an ISP
+// vantage point carries tens of thousands concurrently. ShardedProbe
+// scales the same pipeline across cores by partitioning the five-tuple
+// space: the capture thread hashes each packet's canonical tuple to one
+// of N shards and enqueues it there, and each shard's worker thread owns
+// a private FlowTable + session map (a full MultiSessionProbe), so
+// workers share nothing and need no locks on the packet path.
+//
+// Properties this buys:
+//  - per-flow ordering is preserved by construction (a flow maps to
+//    exactly one shard, whose queue is FIFO), so with num_shards == 1
+//    the engine's reports are byte-identical to MultiSessionProbe's;
+//  - the capture thread never blocks indefinitely: queues are bounded,
+//    and overflow follows an explicit policy (drop immediately, or wait
+//    a bounded time then drop) with every drop counted;
+//  - per-shard ProbeStats aggregate into one snapshot readable from any
+//    thread while the engine runs.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/multi_session_probe.hpp"
+#include "core/probe_stats.hpp"
+
+namespace cgctx::core {
+
+/// What push() does when the target shard's queue is full.
+enum class OverflowPolicy : std::uint8_t {
+  /// Drop the incoming packet immediately (prefer capture-thread latency).
+  kDropNewest,
+  /// Apply backpressure: wait up to `backpressure_timeout` for space,
+  /// then drop. Bounds capture-thread stalls while absorbing bursts.
+  kBackpressure,
+};
+
+const char* to_string(OverflowPolicy policy);
+
+struct ShardedProbeParams {
+  /// Per-shard probe configuration (pipeline, idle timeouts).
+  MultiSessionProbeParams probe{};
+  std::size_t num_shards = 1;
+  /// Bounded per-shard queue capacity, in packets.
+  std::size_t queue_capacity = 1 << 14;
+  OverflowPolicy overflow = OverflowPolicy::kBackpressure;
+  /// Longest one push() may wait for queue space under kBackpressure.
+  std::chrono::milliseconds backpressure_timeout{100};
+  /// Record processing latency for every Nth packet per shard (1 = all,
+  /// 0 = never); sampling keeps the steady_clock reads off most packets.
+  std::uint32_t latency_sample_stride = 8;
+};
+
+class ShardedProbe {
+ public:
+  using ReportCallback = MultiSessionProbe::ReportCallback;
+
+  /// Models must outlive the probe and be safe for concurrent const
+  /// calls (the trained classifiers are immutable after training).
+  /// `on_report` / `on_event` are invoked from worker threads but never
+  /// concurrently (an internal mutex serializes them).
+  ShardedProbe(PipelineModels models, ShardedProbeParams params,
+               ReportCallback on_report,
+               StreamingAnalyzer::EventCallback on_event = {});
+  ~ShardedProbe();
+
+  ShardedProbe(const ShardedProbe&) = delete;
+  ShardedProbe& operator=(const ShardedProbe&) = delete;
+
+  /// Feeds one packet from the capture thread (single producer).
+  /// Returns false iff the packet was dropped by the overflow policy.
+  bool push(const net::PacketRecord& pkt);
+
+  /// Drains all queues, retires every live session (emitting reports),
+  /// and joins the workers. Terminal: push() after flush() drops.
+  /// Idempotent; also runs from the destructor if never called.
+  void flush();
+
+  /// Aggregated snapshot across shards; callable from any thread, before
+  /// or after flush().
+  [[nodiscard]] ProbeStatsSnapshot stats() const;
+
+  [[nodiscard]] std::size_t num_shards() const { return shards_.size(); }
+  [[nodiscard]] std::size_t reports_emitted() const;
+
+  /// Shard a canonical tuple maps to (exposed for tests/benches).
+  [[nodiscard]] std::size_t shard_of(const net::FiveTuple& canonical) const;
+
+ private:
+  struct Shard;
+
+  ShardedProbeParams params_;
+  ReportCallback on_report_;
+  /// Serializes report/event callbacks across worker threads.
+  mutable std::mutex sink_mu_;
+  std::size_t reports_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  bool flushed_ = false;
+};
+
+}  // namespace cgctx::core

@@ -33,6 +33,8 @@ struct TitleResult {
   std::optional<ml::Label> label;
   std::string class_name;  ///< "" when unknown
   double confidence = 0.0;
+
+  friend bool operator==(const TitleResult&, const TitleResult&) = default;
 };
 
 class TitleClassifier {

@@ -76,6 +76,8 @@ struct PatternInferrerParams {
 struct PatternResult {
   ml::Label label = -1;  ///< kPatternContinuous or kPatternSpectate
   double confidence = 0.0;
+
+  friend bool operator==(const PatternResult&, const PatternResult&) = default;
 };
 
 class PatternInferrer {

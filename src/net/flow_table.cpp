@@ -34,6 +34,14 @@ double FlowState::downstream_rtp_consistency() const {
 }
 
 const FlowState& FlowTable::add(const PacketRecord& pkt) {
+  // Amortized lazy eviction: a periodic full scan keeps the table bounded
+  // under flow churn without the owner having to run a timer. The scan
+  // runs before the insert so it can never drop the packet's own flow.
+  if (++adds_since_sweep_ >= kLazyEvictStride) {
+    adds_since_sweep_ = 0;
+    sweep_idle(pkt.timestamp, nullptr);
+  }
+
   const FiveTuple key = pkt.tuple.canonical();
   auto [it, inserted] = flows_.try_emplace(key);
   FlowState& state = it->second;
@@ -46,17 +54,29 @@ const FlowState& FlowTable::add(const PacketRecord& pkt) {
   return state;
 }
 
-std::vector<FlowState> FlowTable::evict_idle(Timestamp now) {
-  std::vector<FlowState> evicted;
+std::size_t FlowTable::sweep_idle(Timestamp now, std::vector<FlowState>* out) {
+  std::size_t count = 0;
   for (auto it = flows_.begin(); it != flows_.end();) {
     if (now - it->second.last_seen > idle_timeout_) {
-      evicted.push_back(std::move(it->second));
+      if (out != nullptr) out->push_back(std::move(it->second));
       it = flows_.erase(it);
+      ++count;
     } else {
       ++it;
     }
   }
+  evictions_ += count;
+  return count;
+}
+
+std::vector<FlowState> FlowTable::evict_idle(Timestamp now) {
+  std::vector<FlowState> evicted;
+  sweep_idle(now, &evicted);
   return evicted;
+}
+
+bool FlowTable::erase(const FiveTuple& tuple) {
+  return flows_.erase(tuple.canonical()) > 0;
 }
 
 const FlowState* FlowTable::find(const FiveTuple& tuple) const {

@@ -56,20 +56,36 @@ struct FlowState {
 };
 
 /// Demultiplexes packets into FlowStates. Flows idle longer than
-/// `idle_timeout` are evicted on the next insertion scan (lazily, so no
-/// timer machinery is needed); evicted flows are returned to the caller.
+/// `idle_timeout` are evicted lazily: every `kLazyEvictStride` calls to
+/// add(), the table sweeps and discards idle entries (amortized O(1) per
+/// packet, no timer machinery), so the table stays bounded under
+/// sustained churn even if the owner never sweeps explicitly. Callers
+/// that want the evicted states call evict_idle() themselves.
 class FlowTable {
  public:
+  /// One internal idle sweep per this many add() calls.
+  static constexpr std::uint64_t kLazyEvictStride = 512;
+
   explicit FlowTable(Duration idle_timeout = 60 * kNanosPerSecond)
       : idle_timeout_(idle_timeout) {}
 
-  /// Accounts one packet; returns the (updated) state of its flow.
+  /// Accounts one packet; returns the (updated) state of its flow. The
+  /// returned reference stays valid until the flow itself is evicted or
+  /// erased (map nodes are stable under other erasures).
   const FlowState& add(const PacketRecord& pkt);
 
   /// Removes and returns flows idle at `now` for longer than the timeout.
   std::vector<FlowState> evict_idle(Timestamp now);
 
+  /// Drops one flow by (any orientation of) its tuple; returns whether an
+  /// entry existed. Erasure is not counted as an eviction.
+  bool erase(const FiveTuple& tuple);
+
   [[nodiscard]] std::size_t size() const { return flows_.size(); }
+
+  /// Total flows evicted for idleness over the table's lifetime (both
+  /// explicit evict_idle() sweeps and the lazy add() sweeps).
+  [[nodiscard]] std::uint64_t evictions() const { return evictions_; }
 
   /// Looks up a flow by (any orientation of) its tuple.
   [[nodiscard]] const FlowState* find(const FiveTuple& tuple) const;
@@ -78,8 +94,13 @@ class FlowTable {
   [[nodiscard]] std::vector<const FlowState*> flows() const;
 
  private:
+  /// Shared sweep: erases idle entries, moving them into `out` if given.
+  std::size_t sweep_idle(Timestamp now, std::vector<FlowState>* out);
+
   std::map<FiveTuple, FlowState> flows_;
   Duration idle_timeout_;
+  std::uint64_t adds_since_sweep_ = 0;
+  std::uint64_t evictions_ = 0;
 };
 
 }  // namespace cgctx::net

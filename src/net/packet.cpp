@@ -43,4 +43,22 @@ std::string to_string(const FiveTuple& t) {
   return os.str();
 }
 
+std::size_t flow_hash(const FiveTuple& t) {
+  // FNV-1a over the tuple fields, widened to 64 bits so the low bits a
+  // modulo shard-picker consumes are well mixed.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](std::uint64_t v, int bytes) {
+    for (int i = 0; i < bytes; ++i) {
+      h ^= (v >> (8 * i)) & 0xffu;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  mix(t.src_ip.value, 4);
+  mix(t.dst_ip.value, 4);
+  mix(t.src_port, 2);
+  mix(t.dst_port, 2);
+  mix(t.protocol, 1);
+  return static_cast<std::size_t>(h);
+}
+
 }  // namespace cgctx::net

@@ -73,6 +73,11 @@ struct FiveTuple {
 
 std::string to_string(const FiveTuple& t);
 
+/// Stable FNV-1a hash of a tuple's fields. Hash the *canonical* tuple to
+/// get a direction-independent flow hash (used to pick a probe shard, so
+/// both directions of one conversation land on the same shard).
+[[nodiscard]] std::size_t flow_hash(const FiveTuple& t);
+
 /// One observed packet, as used by the classification pipeline.
 struct PacketRecord {
   Timestamp timestamp = 0;        ///< arrival time, ns since trace epoch

@@ -1,6 +1,10 @@
 #include "sim/fleet.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <set>
+
+#include "sim/cross_traffic.hpp"
 
 namespace cgctx::sim {
 
@@ -50,6 +54,59 @@ SessionSpec FleetSampler::sample() {
 
   spec.seed = rng_.next_u64();
   return spec;
+}
+
+FleetReplay build_fleet_replay(const FleetReplayOptions& options) {
+  FleetReplay replay;
+  ml::Rng rng(options.seed);
+  FleetOptions fleet_options;
+  fleet_options.seed = options.seed;
+  FleetSampler sampler(fleet_options);
+  const SessionGenerator generator;
+
+  std::set<net::FiveTuple> used_flows;
+  for (std::size_t i = 0; i < options.sessions; ++i) {
+    SessionSpec spec = sampler.sample();
+    spec.gameplay_seconds = options.gameplay_seconds;
+    spec.start_time = net::duration_from_seconds(
+        rng.uniform(0.0, options.start_spread_s));
+    // The flow tuple derives from the spec seed; reroll until distinct so
+    // the wire carries `sessions` separate streaming flows.
+    LabeledSession session = generator.generate(spec);
+    while (!used_flows.insert(session.tuple.canonical()).second) {
+      spec.seed = rng.next_u64();
+      session = generator.generate(spec);
+    }
+    replay.session_flows.push_back(session.tuple.canonical());
+    replay.wire.insert(replay.wire.end(), session.packets.begin(),
+                       session.packets.end());
+  }
+
+  for (std::size_t i = 0; i < options.cross_traffic_flows; ++i) {
+    const auto client = net::Ipv4Addr::from_octets(
+        10, 200, static_cast<std::uint8_t>(rng.next_below(250) + 1),
+        static_cast<std::uint8_t>(rng.next_below(250) + 1));
+    std::vector<net::PacketRecord> flow;
+    switch (i % 3) {
+      case 0: flow = voip_flow(client, options.cross_traffic_duration_s, rng);
+              break;
+      case 1: flow = web_browsing_flow(client, options.cross_traffic_duration_s,
+                                       rng);
+              break;
+      default: flow = video_streaming_flow(
+                   client, options.cross_traffic_duration_s, rng);
+    }
+    const net::Duration offset =
+        net::duration_from_seconds(rng.uniform(0.0, options.start_spread_s));
+    for (net::PacketRecord& pkt : flow) pkt.timestamp += offset;
+    replay.wire.insert(replay.wire.end(), flow.begin(), flow.end());
+  }
+
+  std::stable_sort(replay.wire.begin(), replay.wire.end(),
+                   [](const net::PacketRecord& a, const net::PacketRecord& b) {
+                     return a.timestamp < b.timestamp;
+                   });
+  return replay;
 }
 
 }  // namespace cgctx::sim

@@ -41,4 +41,33 @@ class FleetSampler {
   std::vector<double> cumulative_popularity_;
 };
 
+/// Options for a packet-fidelity replay of a small concurrent fleet, the
+/// input shape a vantage-point probe consumes (interleaved subscribers
+/// plus household cross traffic on one wire).
+struct FleetReplayOptions {
+  std::size_t sessions = 6;
+  std::uint64_t seed = 2025;
+  /// Packet fidelity renders every RTP packet, so gameplay stays short.
+  double gameplay_seconds = 40.0;
+  /// Session/cross-flow start times spread uniformly over [0, this).
+  double start_spread_s = 20.0;
+  /// Non-gaming flows (VoIP / web / video round-robin) mixed in.
+  std::size_t cross_traffic_flows = 0;
+  double cross_traffic_duration_s = 30.0;
+};
+
+/// One synthesized vantage-point wire.
+struct FleetReplay {
+  /// Timestamp-sorted interleaving of all sessions and cross traffic.
+  std::vector<net::PacketRecord> wire;
+  /// Canonical streaming-flow tuple of each gaming session (distinct).
+  std::vector<net::FiveTuple> session_flows;
+};
+
+/// Samples `options.sessions` fleet sessions (reusing FleetSampler's
+/// title/config/network mix), renders them at packet fidelity with
+/// staggered starts and guaranteed-distinct flow tuples, mixes in cross
+/// traffic, and merges everything into one time-sorted wire.
+[[nodiscard]] FleetReplay build_fleet_replay(const FleetReplayOptions& options);
+
 }  // namespace cgctx::sim

@@ -5,21 +5,13 @@
 #include <algorithm>
 
 #include "core/model_suite.hpp"
+#include "probe_test_models.hpp"
 #include "sim/cross_traffic.hpp"
 
 namespace cgctx::core {
 namespace {
 
-const ModelSuite& suite() {
-  static const ModelSuite models = [] {
-    TrainingBudget budget;
-    budget.lab_scale = 0.12;
-    budget.gameplay_seconds = 150.0;
-    budget.augment_copies = 1;
-    return train_model_suite(budget);
-  }();
-  return models;
-}
+const ModelSuite& suite() { return probe_test_suite(); }
 
 sim::LabeledSession make_session(sim::GameTitle title, double start_s,
                                  std::uint64_t seed) {
@@ -121,6 +113,80 @@ TEST(MultiSessionProbe, ReportsMatchSingleSessionAnalysis) {
 
   EXPECT_EQ(probe_report.title.label, single_report.title.label);
   EXPECT_EQ(probe_report.slots.size(), single_report.slots.size());
+}
+
+TEST(MultiSessionProbe, RetireThenResumeSameTupleRedetects) {
+  // The same five-tuple carries two sessions separated by a long idle
+  // gap (client reconnects to the same server from the same port). The
+  // first session's flow-table entry must not survive its retirement:
+  // stale cumulative stats dilute the lifetime-mean downstream rate below
+  // the detector's threshold and the resumed session never re-fires.
+  const auto first = make_session(sim::GameTitle::kFortnite, 0.0, 57);
+  sim::SessionSpec resumed_spec = first.spec;
+  resumed_spec.start_time = net::duration_from_seconds(200.0);
+  const auto resumed = sim::SessionGenerator().generate(resumed_spec);
+  ASSERT_EQ(first.tuple.canonical(), resumed.tuple.canonical());
+
+  std::vector<SessionReport> reports;
+  MultiSessionProbe probe(
+      suite().models(), MultiSessionProbeParams{default_pipeline_params()},
+      [&](const SessionReport& r) { reports.push_back(r); });
+  for (const auto& pkt : first.packets) probe.push(pkt);
+  for (const auto& pkt : resumed.packets) probe.push(pkt);
+  // First session was retired by the idle sweep when the resume began.
+  EXPECT_EQ(reports.size(), 1u);
+  probe.flush();
+  ASSERT_EQ(reports.size(), 2u);
+  // Both sessions were fully analyzed, not just the first.
+  for (const auto& report : reports) {
+    ASSERT_TRUE(report.detection.has_value());
+    EXPECT_EQ(report.detection->flow, first.tuple.canonical());
+    EXPECT_GT(report.slots.size(), 35u);
+  }
+}
+
+TEST(MultiSessionProbe, FlowTableStaysBoundedUnderSustainedCrossTraffic) {
+  // A vantage point sees an endless churn of short non-gaming flows; the
+  // shared table must evict them instead of growing monotonically.
+  MultiSessionProbe probe(
+      suite().models(), MultiSessionProbeParams{default_pipeline_params()},
+      {});
+  ml::Rng rng(58);
+  constexpr std::size_t kFlows = 120;
+  std::size_t peak_table = 0;
+  for (std::size_t i = 0; i < kFlows; ++i) {
+    const auto client = net::Ipv4Addr::from_octets(
+        10, 50, static_cast<std::uint8_t>(i / 250 + 1),
+        static_cast<std::uint8_t>(i % 250 + 1));
+    auto flow = sim::voip_flow(client, 4.0, rng);
+    const net::Duration offset =
+        static_cast<net::Duration>(i) * 2 * net::kNanosPerSecond;
+    for (auto& pkt : flow) pkt.timestamp += offset;
+    for (const auto& pkt : flow) probe.push(pkt);
+    peak_table = std::max(peak_table, probe.flow_table_size());
+  }
+  // 120 distinct flows entered over ~240 s of wire time; with a 60 s idle
+  // timeout only a recent window can be live at once.
+  EXPECT_LT(peak_table, 60u);
+  EXPECT_GT(probe.flow_evictions(), 60u);
+  EXPECT_EQ(probe.live_sessions(), 0u);
+}
+
+TEST(MultiSessionProbe, LookbackReplayReproducesSingleAnalyzerExactly) {
+  // Promotion replays the flow's lookback packets into the new analyzer,
+  // so the probe's report must match a dedicated StreamingAnalyzer fed
+  // the same wire field-for-field — including the earliest launch slots.
+  const auto session = make_session(sim::GameTitle::kGenshinImpact, 3.0, 59);
+  SessionReport probe_report;
+  MultiSessionProbe probe(
+      suite().models(), MultiSessionProbeParams{default_pipeline_params()},
+      [&](const SessionReport& r) { probe_report = r; });
+  for (const auto& pkt : session.packets) probe.push(pkt);
+  probe.flush();
+
+  StreamingAnalyzer single(suite().models(), default_pipeline_params(), {});
+  for (const auto& pkt : session.packets) single.push(pkt);
+  EXPECT_EQ(probe_report, single.finish());
 }
 
 TEST(MultiSessionProbe, RequiresModels) {

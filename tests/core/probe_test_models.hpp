@@ -1,0 +1,21 @@
+// Shared smoke-scale model suite for the probe tests. One program-wide
+// instance (inline function static) so multi_session_probe_test and
+// sharded_probe_test, which link into one test binary, train it once.
+#pragma once
+
+#include "core/model_suite.hpp"
+
+namespace cgctx::core {
+
+inline const ModelSuite& probe_test_suite() {
+  static const ModelSuite models = [] {
+    TrainingBudget budget;
+    budget.lab_scale = 0.12;
+    budget.gameplay_seconds = 150.0;
+    budget.augment_copies = 1;
+    return train_model_suite(budget);
+  }();
+  return models;
+}
+
+}  // namespace cgctx::core

@@ -1,0 +1,155 @@
+#include "core/sharded_probe.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/model_suite.hpp"
+#include "probe_test_models.hpp"
+#include "sim/fleet.hpp"
+
+namespace cgctx::core {
+namespace {
+
+const ModelSuite& suite() { return probe_test_suite(); }
+
+sim::FleetReplay small_fleet(std::size_t sessions, std::size_t cross_flows,
+                             std::uint64_t seed) {
+  sim::FleetReplayOptions options;
+  options.sessions = sessions;
+  options.seed = seed;
+  options.gameplay_seconds = 30.0;
+  options.start_spread_s = 15.0;
+  options.cross_traffic_flows = cross_flows;
+  options.cross_traffic_duration_s = 20.0;
+  return sim::build_fleet_replay(options);
+}
+
+std::vector<SessionReport> run_sharded(
+    const std::vector<net::PacketRecord>& wire, std::size_t shards,
+    ProbeStatsSnapshot* stats_out = nullptr) {
+  ShardedProbeParams params;
+  params.probe.pipeline = default_pipeline_params();
+  params.num_shards = shards;
+  std::vector<SessionReport> reports;
+  ShardedProbe probe(suite().models(), params,
+                     [&](const SessionReport& r) { reports.push_back(r); });
+  for (const auto& pkt : wire) probe.push(pkt);
+  probe.flush();
+  if (stats_out != nullptr) *stats_out = probe.stats();
+  return reports;
+}
+
+TEST(ShardedProbe, SingleShardMatchesMultiSessionProbeExactly) {
+  const sim::FleetReplay replay = small_fleet(3, 2, 71);
+
+  std::vector<SessionReport> direct;
+  MultiSessionProbe probe(
+      suite().models(), MultiSessionProbeParams{default_pipeline_params()},
+      [&](const SessionReport& r) { direct.push_back(r); });
+  for (const auto& pkt : replay.wire) probe.push(pkt);
+  probe.flush();
+
+  const std::vector<SessionReport> sharded = run_sharded(replay.wire, 1);
+  // One shard preserves global packet order, so the engine must be a
+  // behavior-preserving wrapper: same reports, same order, every field.
+  EXPECT_EQ(sharded, direct);
+}
+
+TEST(ShardedProbe, MultiShardReportsAreComplete) {
+  const sim::FleetReplay replay = small_fleet(5, 3, 72);
+  ProbeStatsSnapshot stats;
+  const std::vector<SessionReport> reports =
+      run_sharded(replay.wire, 4, &stats);
+
+  // Every gaming session surfaces exactly once; nothing was dropped.
+  ASSERT_EQ(reports.size(), replay.session_flows.size());
+  std::set<net::FiveTuple> reported;
+  for (const auto& report : reports) {
+    ASSERT_TRUE(report.detection.has_value());
+    reported.insert(report.detection->flow);
+    EXPECT_GT(report.slots.size(), 25u);
+  }
+  const std::set<net::FiveTuple> expected(replay.session_flows.begin(),
+                                          replay.session_flows.end());
+  EXPECT_EQ(reported, expected);
+  EXPECT_EQ(stats.packets_dropped, 0u);
+  EXPECT_EQ(stats.packets_in, replay.wire.size());
+  EXPECT_EQ(stats.packets_processed, replay.wire.size());
+  EXPECT_EQ(stats.reports_emitted, reports.size());
+  EXPECT_EQ(stats.sessions_started, reports.size());
+  EXPECT_GE(stats.queue_depth_hwm, 1u);
+}
+
+TEST(ShardedProbe, FlowsKeepShardAffinity) {
+  ShardedProbeParams params;
+  params.probe.pipeline = default_pipeline_params();
+  params.num_shards = 4;
+  ShardedProbe probe(suite().models(), params, {});
+  const net::FiveTuple tuple{net::Ipv4Addr::from_octets(10, 1, 2, 3),
+                             net::Ipv4Addr::from_octets(119, 81, 1, 9),
+                             50123, 49004, 17};
+  // Both orientations of one conversation land on one shard.
+  EXPECT_EQ(probe.shard_of(tuple.canonical()),
+            probe.shard_of(tuple.reversed().canonical()));
+  probe.flush();
+}
+
+TEST(ShardedProbe, DropNewestPolicyCountsDropsInsteadOfBlocking) {
+  ShardedProbeParams params;
+  params.probe.pipeline = default_pipeline_params();
+  params.num_shards = 1;
+  params.queue_capacity = 1;
+  params.overflow = OverflowPolicy::kDropNewest;
+  ShardedProbe probe(suite().models(), params, {});
+
+  // Flood one shard faster than its worker can possibly drain a
+  // capacity-1 queue; the capture path must never wedge and every
+  // rejected packet must be counted.
+  net::PacketRecord pkt;
+  pkt.tuple = net::FiveTuple{net::Ipv4Addr::from_octets(10, 9, 9, 9),
+                             net::Ipv4Addr::from_octets(119, 81, 2, 2),
+                             50555, 49004, 17};
+  pkt.payload_size = 1200;
+  constexpr std::size_t kPackets = 20000;
+  std::size_t accepted = 0;
+  for (std::size_t i = 0; i < kPackets; ++i) {
+    pkt.timestamp = static_cast<net::Timestamp>(i) * 1'000'000;
+    if (probe.push(pkt)) ++accepted;
+  }
+  probe.flush();
+  const ProbeStatsSnapshot stats = probe.stats();
+  EXPECT_EQ(stats.packets_in, accepted);
+  EXPECT_EQ(stats.packets_in + stats.packets_dropped, kPackets);
+  EXPECT_EQ(stats.packets_processed, accepted);
+}
+
+TEST(ShardedProbe, StatsSnapshotReadableWhileRunning) {
+  const sim::FleetReplay replay = small_fleet(2, 1, 73);
+  ShardedProbeParams params;
+  params.probe.pipeline = default_pipeline_params();
+  params.num_shards = 2;
+  ShardedProbe probe(suite().models(), params, {});
+  std::uint64_t mid_run_packets = 0;
+  for (std::size_t i = 0; i < replay.wire.size(); ++i) {
+    probe.push(replay.wire[i]);
+    if (i == replay.wire.size() / 2)
+      mid_run_packets = probe.stats().packets_in;
+  }
+  probe.flush();
+  EXPECT_GT(mid_run_packets, 0u);
+  EXPECT_EQ(probe.stats().packets_in, replay.wire.size());
+  EXPECT_GT(probe.stats().latency().samples, 0u);
+}
+
+TEST(ShardedProbe, RejectsZeroShards) {
+  ShardedProbeParams params;
+  params.probe.pipeline = default_pipeline_params();
+  params.num_shards = 0;
+  EXPECT_THROW(ShardedProbe(suite().models(), params, {}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cgctx::core

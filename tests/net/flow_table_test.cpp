@@ -107,6 +107,51 @@ TEST(FlowTable, EvictIdleRemovesOnlyStaleFlows) {
   EXPECT_NE(table.find(fresh), nullptr);
 }
 
+TEST(FlowTable, EvictIdleCountsEvictions) {
+  FlowTable table(10 * kNanosPerSecond);
+  table.add(packet(tuple_a(), Direction::kUpstream, 0, 10));
+  EXPECT_EQ(table.evictions(), 0u);
+  table.evict_idle(15 * kNanosPerSecond);
+  EXPECT_EQ(table.evictions(), 1u);
+}
+
+TEST(FlowTable, AddEvictsIdleFlowsLazily) {
+  // The documented behavior: add() itself sweeps idle flows every
+  // kLazyEvictStride calls, so an owner that never sweeps explicitly
+  // still gets a bounded table.
+  FlowTable table(10 * kNanosPerSecond);
+  table.add(packet(tuple_a(), Direction::kUpstream, 0, 10));
+
+  FiveTuple busy = tuple_a();
+  busy.src_port = 50010;
+  const Timestamp late = 60 * kNanosPerSecond;
+  for (std::uint64_t i = 0; i <= FlowTable::kLazyEvictStride; ++i)
+    table.add(packet(busy, Direction::kUpstream,
+                     late + static_cast<Timestamp>(i), 10));
+
+  // The idle flow was discarded by the lazy sweep; the busy one remains.
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.find(tuple_a()), nullptr);
+  EXPECT_NE(table.find(busy), nullptr);
+  EXPECT_EQ(table.evictions(), 1u);
+}
+
+TEST(FlowTable, EraseDropsFlowWithoutCountingEviction) {
+  FlowTable table;
+  table.add(packet(tuple_a(), Direction::kUpstream, 0, 10));
+  EXPECT_TRUE(table.erase(tuple_a().reversed()));  // either orientation
+  EXPECT_FALSE(table.erase(tuple_a()));
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_EQ(table.evictions(), 0u);
+
+  // A re-added tuple starts from fresh statistics.
+  table.add(packet(tuple_a(), Direction::kUpstream, 5 * kNanosPerSecond, 10));
+  const FlowState* flow = table.find(tuple_a());
+  ASSERT_NE(flow, nullptr);
+  EXPECT_EQ(flow->first_seen, 5 * kNanosPerSecond);
+  EXPECT_EQ(flow->total_packets(), 1u);
+}
+
 TEST(FlowTable, FlowsSnapshotIsOrderedAndComplete) {
   FlowTable table;
   for (std::uint16_t port = 50005; port > 50000; --port) {

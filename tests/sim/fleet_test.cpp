@@ -94,5 +94,48 @@ TEST(Fleet, LongSessionTitlesYieldLongerDurations) {
   EXPECT_GT(bg3.first / bg3.second, 1.5 * rl.first / rl.second);
 }
 
+TEST(FleetReplay, WireIsSortedWithDistinctSessionFlows) {
+  FleetReplayOptions options;
+  options.sessions = 4;
+  options.seed = 7;
+  options.gameplay_seconds = 12.0;
+  options.cross_traffic_flows = 3;
+  options.cross_traffic_duration_s = 8.0;
+  const FleetReplay replay = build_fleet_replay(options);
+
+  ASSERT_EQ(replay.session_flows.size(), 4u);
+  const std::set<net::FiveTuple> distinct(replay.session_flows.begin(),
+                                          replay.session_flows.end());
+  EXPECT_EQ(distinct.size(), 4u);
+
+  ASSERT_FALSE(replay.wire.empty());
+  std::set<net::FiveTuple> wire_flows;
+  for (std::size_t i = 0; i < replay.wire.size(); ++i) {
+    if (i > 0) {
+      EXPECT_GE(replay.wire[i].timestamp, replay.wire[i - 1].timestamp);
+    }
+    wire_flows.insert(replay.wire[i].tuple.canonical());
+  }
+  // The wire interleaves the gaming flows with the cross traffic.
+  for (const auto& flow : replay.session_flows)
+    EXPECT_TRUE(wire_flows.count(flow));
+  EXPECT_GE(wire_flows.size(), 4u + 3u);
+}
+
+TEST(FleetReplay, DeterministicForASeed) {
+  FleetReplayOptions options;
+  options.sessions = 2;
+  options.seed = 8;
+  options.gameplay_seconds = 10.0;
+  const FleetReplay a = build_fleet_replay(options);
+  const FleetReplay b = build_fleet_replay(options);
+  ASSERT_EQ(a.wire.size(), b.wire.size());
+  EXPECT_EQ(a.session_flows, b.session_flows);
+  for (std::size_t i = 0; i < a.wire.size(); ++i) {
+    EXPECT_EQ(a.wire[i].timestamp, b.wire[i].timestamp);
+    EXPECT_EQ(a.wire[i].tuple, b.wire[i].tuple);
+  }
+}
+
 }  // namespace
 }  // namespace cgctx::sim
