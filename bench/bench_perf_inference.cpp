@@ -1,0 +1,235 @@
+// Compiled vs. reference forest inference (google-benchmark).
+//
+// The deployment's hot path is pure inference: a 500-tree title verdict
+// per detected session and a 100-tree stage verdict per session-second
+// (§4.2–4.3). This bench pins the single-row and batched predictions/
+// second of ml::CompiledForest against the reference RandomForest walk,
+// and counts heap allocations per prediction (a global operator new hook)
+// to prove the compiled path allocates nothing.
+//
+// Single-row latency is measured over a rotating pool of distinct rows:
+// production never classifies the same flow-second twice, and repeating
+// one row would let the branch predictor memorize the reference walk's
+// entire descent path, flattering it far beyond deployment behavior.
+// Both engines see the identical row sequence.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "common/bench_support.hpp"
+#include "core/launch_attributes.hpp"
+#include "ml/compiled_forest.hpp"
+#include "sim/session.hpp"
+
+// --- Heap allocation counter -------------------------------------------
+// Every global new is routed through malloc with a counter bump, so each
+// benchmark can report exact allocations per operation. GCC flags
+// free() inside a replaced operator delete as a mismatched pair; the
+// pairing is consistent (new -> malloc, delete -> free), so the
+// diagnostic is suppressed for this block.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                                   (size + static_cast<std::size_t>(align) - 1) &
+                                       ~(static_cast<std::size_t>(align) - 1)))
+    return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+#pragma GCC diagnostic pop
+
+using namespace cgctx;
+
+namespace {
+
+/// Launch-attribute row of one generated session (title forest input).
+ml::FeatureRow title_row(std::uint64_t seed) {
+  sim::SessionGenerator generator;
+  sim::SessionSpec spec;
+  spec.title = static_cast<sim::GameTitle>(seed % sim::kNumPopularTitles);
+  spec.gameplay_seconds = 10.0;
+  spec.seed = seed;
+  const sim::LabeledSession session = generator.generate(spec);
+  return core::launch_attributes(session.packets, session.launch_begin);
+}
+
+/// Volumetric-attribute row a few slots into a session (stage input).
+/// `variant` perturbs the slot volumetrics so a pool of these rows takes
+/// distinct paths through the stage forest.
+ml::FeatureRow stage_row(std::uint64_t variant = 0) {
+  core::VolumetricTracker tracker;
+  ml::FeatureRow attrs;
+  const core::RawSlotVolumetrics slot{
+      2'500'000 + 40'000 * (variant % 17), 1900 + 13 * (variant % 23),
+      9'000 + 250 * (variant % 11), 95 + variant % 7};
+  for (int i = 0; i < 8; ++i) attrs = tracker.push(slot);
+  return attrs;
+}
+
+/// Rotating pool of distinct single rows (see file comment). A power of
+/// two so the cursor wraps with a mask, not a divide.
+constexpr std::size_t kRowPool = 64;
+static_assert((kRowPool & (kRowPool - 1)) == 0);
+
+std::vector<ml::FeatureRow> title_pool() {
+  std::vector<ml::FeatureRow> rows;
+  rows.reserve(kRowPool);
+  for (std::size_t i = 0; i < kRowPool; ++i) rows.push_back(title_row(i));
+  return rows;
+}
+
+std::vector<ml::FeatureRow> stage_pool() {
+  std::vector<ml::FeatureRow> rows;
+  rows.reserve(kRowPool);
+  for (std::size_t i = 0; i < kRowPool; ++i) rows.push_back(stage_row(i));
+  return rows;
+}
+
+/// Runs `fn` under the benchmark loop and reports allocations per op.
+template <typename Fn>
+void run_counted(benchmark::State& state, Fn&& fn) {
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (auto _ : state) fn();
+  const std::uint64_t after = g_allocations.load(std::memory_order_relaxed);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["allocs/op"] =
+      state.iterations() == 0
+          ? 0.0
+          : static_cast<double>(after - before) /
+                static_cast<double>(state.iterations());
+}
+
+// --- Title forest: 500 trees, depth 10 ---------------------------------
+
+void BM_TitleReference(benchmark::State& state) {
+  const ml::RandomForest& forest = bench::bench_models().title.forest();
+  const std::vector<ml::FeatureRow> rows = title_pool();
+  std::vector<double> out(forest.num_classes());
+  std::size_t next = 0;
+  run_counted(state, [&] {
+    forest.predict_proba_into(rows[next], out);
+    next = (next + 1) & (kRowPool - 1);
+    benchmark::DoNotOptimize(out.data());
+  });
+}
+BENCHMARK(BM_TitleReference);
+
+void BM_TitleCompiled(benchmark::State& state) {
+  const ml::CompiledForest& compiled = bench::bench_models().title.compiled();
+  const std::vector<ml::FeatureRow> rows = title_pool();
+  std::vector<double> out(compiled.num_classes());
+  std::size_t next = 0;
+  run_counted(state, [&] {
+    compiled.predict_proba_into(rows[next], out);
+    next = (next + 1) & (kRowPool - 1);
+    benchmark::DoNotOptimize(out.data());
+  });
+}
+BENCHMARK(BM_TitleCompiled);
+
+// --- Stage forest: 100 trees, depth 10 ---------------------------------
+
+void BM_StageReference(benchmark::State& state) {
+  const ml::RandomForest& forest = bench::bench_models().stage.forest();
+  const std::vector<ml::FeatureRow> rows = stage_pool();
+  std::vector<double> out(forest.num_classes());
+  std::size_t next = 0;
+  run_counted(state, [&] {
+    forest.predict_proba_into(rows[next], out);
+    next = (next + 1) & (kRowPool - 1);
+    benchmark::DoNotOptimize(out.data());
+  });
+}
+BENCHMARK(BM_StageReference);
+
+void BM_StageCompiled(benchmark::State& state) {
+  const ml::CompiledForest& compiled = bench::bench_models().stage.compiled();
+  const std::vector<ml::FeatureRow> rows = stage_pool();
+  std::vector<double> out(compiled.num_classes());
+  std::size_t next = 0;
+  run_counted(state, [&] {
+    compiled.predict_proba_into(rows[next], out);
+    next = (next + 1) & (kRowPool - 1);
+    benchmark::DoNotOptimize(out.data());
+  });
+}
+BENCHMARK(BM_StageCompiled);
+
+// --- Batched title predictions -----------------------------------------
+
+constexpr std::size_t kBatch = 256;
+
+std::vector<ml::FeatureRow> title_batch() {
+  std::vector<ml::FeatureRow> rows;
+  rows.reserve(kBatch);
+  for (std::size_t i = 0; i < kBatch; ++i)
+    rows.push_back(title_row(100 + i % 16));
+  return rows;
+}
+
+void BM_TitleBatchReference(benchmark::State& state) {
+  const ml::RandomForest& forest = bench::bench_models().title.forest();
+  const std::vector<ml::FeatureRow> rows = title_batch();
+  std::vector<ml::Label> out(rows.size());
+  std::vector<double> scratch(forest.num_classes());
+  run_counted(state, [&] {
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      forest.predict_proba_into(rows[i], scratch);
+      out[i] = static_cast<ml::Label>(
+          std::max_element(scratch.begin(), scratch.end()) - scratch.begin());
+    }
+    benchmark::DoNotOptimize(out.data());
+  });
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(rows.size()));
+}
+BENCHMARK(BM_TitleBatchReference);
+
+void BM_TitleBatchCompiled(benchmark::State& state) {
+  const ml::CompiledForest& compiled = bench::bench_models().title.compiled();
+  const std::vector<ml::FeatureRow> rows = title_batch();
+  std::vector<ml::Label> out(rows.size());
+  run_counted(state, [&] {
+    compiled.predict_rows(rows, out);
+    benchmark::DoNotOptimize(out.data());
+  });
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(rows.size()));
+}
+BENCHMARK(BM_TitleBatchCompiled);
+
+}  // namespace
+
+BENCHMARK_MAIN();

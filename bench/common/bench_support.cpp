@@ -12,9 +12,29 @@ namespace {
 
 /// Bump when the simulator or feature pipeline changes in a way that
 /// invalidates previously trained models.
-constexpr const char* kCacheVersion = "cgctx-bench-v7";
+constexpr const char* kCacheEpoch = "cgctx-bench-v7";
 
 const std::filesystem::path kCacheDir = "cgctx_bench_model_cache";
+
+std::string forest_signature(const ml::RandomForestParams& p) {
+  std::ostringstream os;
+  os << p.n_trees << 'x' << p.max_depth << 'x' << p.min_samples_split << 'x'
+     << p.min_samples_leaf << 'x' << p.max_features << 'x'
+     << (p.bootstrap ? 1 : 0) << 'x' << p.seed;
+  return os.str();
+}
+
+/// Cache version string: epoch plus every forest hyperparameter of the
+/// three default classifiers, so a params change invalidates stale cached
+/// models instead of silently loading them.
+std::string cache_version() {
+  std::ostringstream os;
+  os << kCacheEpoch
+     << "|title=" << forest_signature(core::TitleClassifierParams{}.forest)
+     << "|stage=" << forest_signature(core::StageClassifierParams{}.forest)
+     << "|pattern=" << forest_signature(core::PatternInferrerParams{}.forest);
+  return os.str();
+}
 
 std::string read_file(const std::filesystem::path& path) {
   std::ifstream in(path);
@@ -55,7 +75,7 @@ core::ModelSuite train_and_cache() {
   std::error_code ec;
   std::filesystem::create_directories(kCacheDir, ec);
   if (!ec) {
-    const bool ok = write_file(kCacheDir / "version", kCacheVersion) &&
+    const bool ok = write_file(kCacheDir / "version", cache_version()) &&
                     write_file(kCacheDir / "title.model",
                                suite.title.serialize()) &&
                     write_file(kCacheDir / "stage.model",
@@ -69,7 +89,7 @@ core::ModelSuite train_and_cache() {
 }
 
 core::ModelSuite load_or_train() {
-  if (read_file(kCacheDir / "version") == kCacheVersion) {
+  if (read_file(kCacheDir / "version") == cache_version()) {
     try {
       core::ModelSuite suite;
       suite.title = core::TitleClassifier::deserialize(

@@ -113,6 +113,15 @@ SessionReport RealtimePipeline::analyze(TitleResult title,
 
   VolumetricTracker tracker(params_.tracker);
   TransitionTracker transitions;
+  // One probability scratch buffer reused by every stage classification
+  // and pattern inference of the session (the compiled-forest path is
+  // allocation-free given this buffer).
+  std::vector<double> scratch(
+      std::max(models_.stage->scratch_size(), models_.pattern->scratch_size()));
+  const std::span<double> stage_scratch(scratch.data(),
+                                        models_.stage->scratch_size());
+  const std::span<double> pattern_scratch(scratch.data(),
+                                          models_.pattern->scratch_size());
   // Causal peak estimates for the effective-QoE expectations, floored so
   // the first slots do not divide by near-zero.
   double peak_mbps = 5.0;
@@ -125,14 +134,14 @@ SessionReport RealtimePipeline::analyze(TitleResult title,
   for (std::size_t s = 0; s < slots.size(); ++s) {
     const SlotInput& input = slots[s];
     const ml::FeatureRow attrs = tracker.push(input.volumetrics);
-    const ml::Label stage = models_.stage->classify(attrs);
+    const ml::Label stage = models_.stage->classify(attrs, stage_scratch);
     transitions.push(stage);
 
     // Pattern inference runs continuously: the report carries the most
     // recent confident verdict (it sharpens as the transition matrix
     // matures), while pattern_decided_at_s records when the operator
     // first had a usable answer.
-    if (auto inference = models_.pattern->infer(transitions)) {
+    if (auto inference = models_.pattern->infer(transitions, pattern_scratch)) {
       if (!report.pattern)
         report.pattern_decided_at_s = static_cast<double>(s + 1);
       report.pattern = inference;
@@ -177,7 +186,8 @@ SessionReport RealtimePipeline::analyze(TitleResult title,
   // back to the unconditional inference (better than nothing for
   // offline aggregation, flagged by pattern_decided_at_s < 0).
   if (!report.pattern && transitions.transition_count() > 0)
-    report.pattern = models_.pattern->infer_unchecked(transitions);
+    report.pattern =
+        models_.pattern->infer_unchecked(transitions, pattern_scratch);
 
   report.objective_session = session_level(objective_levels);
   report.effective_session = session_level(effective_levels);

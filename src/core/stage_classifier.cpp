@@ -14,15 +14,26 @@ void StageClassifier::train(const ml::Dataset& data) {
         "StageClassifier::train: expected 4 volumetric attributes");
   forest_ = ml::RandomForest(params_.forest);
   forest_.fit(data);
+  compiled_ = ml::CompiledForest(forest_);
 }
 
 ml::Label StageClassifier::classify(const ml::FeatureRow& attributes) const {
-  return forest_.predict(attributes);
+  return compiled_.predict(attributes);
 }
 
 ml::Classifier::Prediction StageClassifier::classify_with_confidence(
     const ml::FeatureRow& attributes) const {
-  return forest_.predict_with_confidence(attributes);
+  return compiled_.predict_with_confidence(attributes);
+}
+
+ml::Label StageClassifier::classify(const ml::FeatureRow& attributes,
+                                    std::span<double> scratch) const {
+  return compiled_.predict(attributes, scratch);
+}
+
+ml::Classifier::Prediction StageClassifier::classify_with_confidence(
+    const ml::FeatureRow& attributes, std::span<double> scratch) const {
+  return compiled_.predict_with_confidence(attributes, scratch);
 }
 
 std::string StageClassifier::serialize() const {
@@ -36,6 +47,8 @@ StageClassifier StageClassifier::deserialize(const std::string& text) {
     throw std::invalid_argument("StageClassifier: bad header");
   StageClassifier out;
   out.forest_ = ml::RandomForest::deserialize(text.substr(newline + 1));
+  if (out.forest_.tree_count() > 0)
+    out.compiled_ = ml::CompiledForest(out.forest_);
   return out;
 }
 

@@ -7,9 +7,11 @@
 // confusion matrices line up.
 #pragma once
 
+#include <span>
 #include <string>
 
 #include "core/volumetric_tracker.hpp"
+#include "ml/compiled_forest.hpp"
 #include "ml/random_forest.hpp"
 
 namespace cgctx::core {
@@ -44,7 +46,24 @@ class StageClassifier {
   [[nodiscard]] ml::Classifier::Prediction classify_with_confidence(
       const ml::FeatureRow& attributes) const;
 
+  /// Allocation-free variants: `scratch` (size scratch_size()) is the
+  /// probability accumulation buffer, reusable across slots.
+  [[nodiscard]] ml::Label classify(const ml::FeatureRow& attributes,
+                                   std::span<double> scratch) const;
+  [[nodiscard]] ml::Classifier::Prediction classify_with_confidence(
+      const ml::FeatureRow& attributes, std::span<double> scratch) const;
+
+  /// Scratch doubles classify needs (= the class count; 0 until trained).
+  [[nodiscard]] std::size_t scratch_size() const {
+    return compiled_.num_classes();
+  }
+
   [[nodiscard]] const ml::RandomForest& forest() const { return forest_; }
+  /// The compiled engine classification routes through (built by train()
+  /// and deserialize()).
+  [[nodiscard]] const ml::CompiledForest& compiled() const {
+    return compiled_;
+  }
 
   [[nodiscard]] std::string serialize() const;
   static StageClassifier deserialize(const std::string& text);
@@ -52,6 +71,7 @@ class StageClassifier {
  private:
   StageClassifierParams params_;
   ml::RandomForest forest_;
+  ml::CompiledForest compiled_;
 };
 
 }  // namespace cgctx::core

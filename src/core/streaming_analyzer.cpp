@@ -28,6 +28,14 @@ StreamingAnalyzer::StreamingAnalyzer(PipelineModels models,
   if (models_.title == nullptr || models_.stage == nullptr ||
       models_.pattern == nullptr)
     throw std::invalid_argument("StreamingAnalyzer: all models are required");
+  scratch_.resize(std::max({models_.title->scratch_size(),
+                            models_.stage->scratch_size(),
+                            models_.pattern->scratch_size()}));
+}
+
+std::span<double> StreamingAnalyzer::scratch(std::size_t n) {
+  if (scratch_.size() < n) scratch_.resize(n);  // models retrained mid-life
+  return std::span<double>(scratch_.data(), n);
 }
 
 void StreamingAnalyzer::emit(StreamEvent event) {
@@ -78,7 +86,10 @@ void StreamingAnalyzer::analyze_packet(const net::PacketRecord& pkt) {
     if (t < window) {
       title_window_.push_back(pkt);
     } else {
-      title_ = models_.title->classify(title_window_, flow_begin_);
+      title_ = models_.title->classify_features(
+          launch_attributes(title_window_, flow_begin_,
+                            models_.title->params().attributes),
+          scratch(models_.title->scratch_size()));
       title_done_ = true;
       title_window_.clear();
       title_window_.shrink_to_fit();
@@ -110,7 +121,8 @@ void StreamingAnalyzer::analyze_packet(const net::PacketRecord& pkt) {
 void StreamingAnalyzer::close_slot() {
   const EstimatedSlotQoe estimated = qoe_.end_slot();
   const ml::FeatureRow attrs = tracker_.push(current_slot_);
-  const ml::Label stage = models_.stage->classify(attrs);
+  const ml::Label stage =
+      models_.stage->classify(attrs, scratch(models_.stage->scratch_size()));
   transitions_.push(stage);
   const double at_s = static_cast<double>(next_slot_ + 1);
 
@@ -123,7 +135,8 @@ void StreamingAnalyzer::close_slot() {
     last_stage_ = stage;
   }
 
-  if (auto inference = models_.pattern->infer(transitions_)) {
+  if (auto inference = models_.pattern->infer(
+          transitions_, scratch(models_.pattern->scratch_size()))) {
     const bool first = !pattern_.has_value();
     const bool changed = !pattern_ || pattern_->label != inference->label;
     pattern_ = inference;
@@ -181,7 +194,8 @@ SessionReport StreamingAnalyzer::finish() {
   report_.pattern = pattern_;
   report_.pattern_decided_at_s = pattern_decided_at_s_;
   if (!report_.pattern && transitions_.transition_count() > 0)
-    report_.pattern = models_.pattern->infer_unchecked(transitions_);
+    report_.pattern = models_.pattern->infer_unchecked(
+        transitions_, scratch(models_.pattern->scratch_size()));
   report_.duration_s = static_cast<double>(report_.slots.size());
   report_.objective_session = session_level(objective_levels_);
   report_.effective_session = session_level(effective_levels_);

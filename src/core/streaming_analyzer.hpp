@@ -91,6 +91,12 @@ class StreamingAnalyzer {
   bool title_done_ = false;
   TitleResult title_;
 
+  /// One probability scratch buffer reused by every stage classification
+  /// and pattern inference this analyzer performs (sized once for the
+  /// widest model; the compiled-forest path allocates nothing per slot).
+  std::vector<double> scratch_;
+  [[nodiscard]] std::span<double> scratch(std::size_t n);
+
   // Slot machinery.
   std::size_t next_slot_ = 0;
   RawSlotVolumetrics current_slot_;

@@ -12,6 +12,7 @@ void TitleClassifier::train(const ml::Dataset& data) {
   class_names_ = data.class_names();
   forest_ = ml::RandomForest(params_.forest);
   forest_.fit(data);
+  compiled_ = ml::CompiledForest(forest_);
 }
 
 TitleResult TitleClassifier::classify(
@@ -22,7 +23,16 @@ TitleResult TitleClassifier::classify(
 }
 
 TitleResult TitleClassifier::classify_features(const ml::FeatureRow& row) const {
-  const auto prediction = forest_.predict_with_confidence(row);
+  return classify_features_impl(compiled_.predict_with_confidence(row));
+}
+
+TitleResult TitleClassifier::classify_features(
+    const ml::FeatureRow& row, std::span<double> scratch) const {
+  return classify_features_impl(compiled_.predict_with_confidence(row, scratch));
+}
+
+TitleResult TitleClassifier::classify_features_impl(
+    ml::Classifier::Prediction prediction) const {
   TitleResult result;
   result.confidence = prediction.confidence;
   if (prediction.confidence >= params_.unknown_threshold) {
@@ -61,6 +71,8 @@ TitleClassifier TitleClassifier::deserialize(const std::string& text) {
   std::ostringstream rest;
   rest << is.rdbuf();
   out.forest_ = ml::RandomForest::deserialize(rest.str());
+  if (out.forest_.tree_count() > 0)
+    out.compiled_ = ml::CompiledForest(out.forest_);
   return out;
 }
 

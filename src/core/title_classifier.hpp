@@ -8,9 +8,11 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <string>
 
 #include "core/launch_attributes.hpp"
+#include "ml/compiled_forest.hpp"
 #include "ml/random_forest.hpp"
 
 namespace cgctx::core {
@@ -55,16 +57,38 @@ class TitleClassifier {
   /// Classifies an already-extracted attribute row.
   [[nodiscard]] TitleResult classify_features(const ml::FeatureRow& row) const;
 
+  /// Allocation-free variant: `scratch` (size scratch_size()) is the
+  /// probability accumulation buffer, reusable across calls. Hot-path
+  /// callers (pipeline, streaming analyzer) hold one scratch per session.
+  [[nodiscard]] TitleResult classify_features(const ml::FeatureRow& row,
+                                              std::span<double> scratch) const;
+
+  /// Scratch doubles classify_features needs (= the class count; 0 until
+  /// trained).
+  [[nodiscard]] std::size_t scratch_size() const {
+    return compiled_.num_classes();
+  }
+
   [[nodiscard]] const TitleClassifierParams& params() const { return params_; }
   [[nodiscard]] const ml::RandomForest& forest() const { return forest_; }
+  /// The compiled engine classification routes through (built by train()
+  /// and deserialize()).
+  [[nodiscard]] const ml::CompiledForest& compiled() const {
+    return compiled_;
+  }
 
   /// Persistence (forest + class names + thresholds).
   [[nodiscard]] std::string serialize() const;
   static TitleClassifier deserialize(const std::string& text);
 
  private:
+  /// Shared thresholding over an argmax prediction.
+  [[nodiscard]] TitleResult classify_features_impl(
+      ml::Classifier::Prediction prediction) const;
+
   TitleClassifierParams params_;
   ml::RandomForest forest_;
+  ml::CompiledForest compiled_;
   std::vector<std::string> class_names_;
 };
 

@@ -1,5 +1,7 @@
 #include "core/transition_model.hpp"
 
+#include <algorithm>
+#include <array>
 #include <sstream>
 #include <stdexcept>
 
@@ -39,10 +41,20 @@ void TransitionTracker::reset() {
 
 ml::FeatureRow TransitionTracker::probabilities() const {
   ml::FeatureRow out(kNumTransitionAttributes, 0.0);
-  if (total_ == 0) return out;
+  probabilities_into(out);
+  return out;
+}
+
+void TransitionTracker::probabilities_into(std::span<double> out) const {
+  if (out.size() != kNumTransitionAttributes)
+    throw std::invalid_argument(
+        "TransitionTracker::probabilities_into: expected 9 cells");
+  if (total_ == 0) {
+    std::fill(out.begin(), out.end(), 0.0);
+    return;
+  }
   for (std::size_t i = 0; i < kNumTransitionAttributes; ++i)
     out[i] = static_cast<double>(counts_[i]) / static_cast<double>(total_);
-  return out;
 }
 
 void PatternInferrer::train(const ml::Dataset& data) {
@@ -51,11 +63,21 @@ void PatternInferrer::train(const ml::Dataset& data) {
         "PatternInferrer::train: expected 9 transition attributes");
   forest_ = ml::RandomForest(params_.forest);
   forest_.fit(data);
+  compiled_ = ml::CompiledForest(forest_);
 }
 
 PatternResult PatternInferrer::infer_unchecked(
     const TransitionTracker& tracker) const {
-  const auto prediction = forest_.predict_with_confidence(tracker.probabilities());
+  const auto prediction =
+      compiled_.predict_with_confidence(tracker.probabilities());
+  return PatternResult{prediction.label, prediction.confidence};
+}
+
+PatternResult PatternInferrer::infer_unchecked(
+    const TransitionTracker& tracker, std::span<double> scratch) const {
+  std::array<double, kNumTransitionAttributes> features;
+  tracker.probabilities_into(features);
+  const auto prediction = compiled_.predict_with_confidence(features, scratch);
   return PatternResult{prediction.label, prediction.confidence};
 }
 
@@ -63,6 +85,14 @@ std::optional<PatternResult> PatternInferrer::infer(
     const TransitionTracker& tracker) const {
   if (tracker.transition_count() < params_.min_transitions) return std::nullopt;
   const PatternResult result = infer_unchecked(tracker);
+  if (result.confidence < params_.confidence_threshold) return std::nullopt;
+  return result;
+}
+
+std::optional<PatternResult> PatternInferrer::infer(
+    const TransitionTracker& tracker, std::span<double> scratch) const {
+  if (tracker.transition_count() < params_.min_transitions) return std::nullopt;
+  const PatternResult result = infer_unchecked(tracker, scratch);
   if (result.confidence < params_.confidence_threshold) return std::nullopt;
   return result;
 }
@@ -85,6 +115,8 @@ PatternInferrer PatternInferrer::deserialize(const std::string& text) {
     throw std::invalid_argument("PatternInferrer: bad header");
   PatternInferrer out(params);
   out.forest_ = ml::RandomForest::deserialize(text.substr(newline + 1));
+  if (out.forest_.tree_count() > 0)
+    out.compiled_ = ml::CompiledForest(out.forest_);
   return out;
 }
 

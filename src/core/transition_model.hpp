@@ -12,8 +12,10 @@
 
 #include <array>
 #include <optional>
+#include <span>
 #include <string>
 
+#include "ml/compiled_forest.hpp"
 #include "ml/random_forest.hpp"
 
 namespace cgctx::core {
@@ -47,6 +49,10 @@ class TransitionTracker {
   /// The 9 matrix cells normalized to probabilities over all recorded
   /// transitions (sums to 1; all zeros before any transition).
   [[nodiscard]] ml::FeatureRow probabilities() const;
+
+  /// Allocation-free variant: writes the 9 cells into `out`, whose size
+  /// must be kNumTransitionAttributes.
+  void probabilities_into(std::span<double> out) const;
 
   /// Raw counts (row-major, from-stage major).
   [[nodiscard]] const std::array<std::uint64_t, kNumTransitionAttributes>&
@@ -99,7 +105,24 @@ class PatternInferrer {
   [[nodiscard]] PatternResult infer_unchecked(
       const TransitionTracker& tracker) const;
 
+  /// Allocation-free variants: `scratch` (size scratch_size()) is the
+  /// probability accumulation buffer, reusable across calls.
+  [[nodiscard]] std::optional<PatternResult> infer(
+      const TransitionTracker& tracker, std::span<double> scratch) const;
+  [[nodiscard]] PatternResult infer_unchecked(
+      const TransitionTracker& tracker, std::span<double> scratch) const;
+
+  /// Scratch doubles infer needs (= the class count; 0 until trained).
+  [[nodiscard]] std::size_t scratch_size() const {
+    return compiled_.num_classes();
+  }
+
   [[nodiscard]] const ml::RandomForest& forest() const { return forest_; }
+  /// The compiled engine inference routes through (built by train() and
+  /// deserialize()).
+  [[nodiscard]] const ml::CompiledForest& compiled() const {
+    return compiled_;
+  }
   [[nodiscard]] const PatternInferrerParams& params() const { return params_; }
 
   [[nodiscard]] std::string serialize() const;
@@ -108,6 +131,7 @@ class PatternInferrer {
  private:
   PatternInferrerParams params_;
   ml::RandomForest forest_;
+  ml::CompiledForest compiled_;
 };
 
 }  // namespace cgctx::core

@@ -1,8 +1,18 @@
 #include "ml/classifier.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace cgctx::ml {
+
+void Classifier::predict_proba_into(const FeatureRow& row,
+                                    std::span<double> out) const {
+  const ClassProbabilities probs = predict_proba(row);
+  if (probs.size() != out.size())
+    throw std::invalid_argument(
+        "Classifier::predict_proba_into: output span size mismatch");
+  std::copy(probs.begin(), probs.end(), out.begin());
+}
 
 Classifier::Prediction Classifier::predict_with_confidence(
     const FeatureRow& row) const {

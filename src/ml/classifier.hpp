@@ -6,6 +6,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "ml/dataset.hpp"
@@ -30,6 +31,13 @@ class Classifier {
   /// probability output return a one-hot vector for their prediction.
   [[nodiscard]] virtual ClassProbabilities predict_proba(
       const FeatureRow& row) const = 0;
+
+  /// Non-allocating variant: writes the per-class scores into `out`,
+  /// whose size must equal the model's class count. The default
+  /// implementation falls back to predict_proba (one allocation); models
+  /// with an allocation-free path (RandomForest) override it.
+  virtual void predict_proba_into(const FeatureRow& row,
+                                  std::span<double> out) const;
 
   /// Convenience: predicted label and its confidence score.
   struct Prediction {

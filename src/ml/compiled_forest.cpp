@@ -1,0 +1,255 @@
+#include "ml/compiled_forest.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+#include <utility>
+
+namespace cgctx::ml {
+
+namespace {
+/// Exponent + quiet bit of a canonical quiet NaN. A leaf's WalkNode
+/// threshold is this pattern with the leaf's pool offset in the low 32
+/// mantissa bits — still a NaN for any offset, so it compares false
+/// against every row value.
+constexpr std::uint64_t kLeafNanBits = 0x7FF8'0000'0000'0000ULL;
+constexpr std::uint64_t kLeafOffsetMask = 0xFFFF'FFFFULL;
+}  // namespace
+
+CompiledForest::CompiledForest(const RandomForest& forest) {
+  if (forest.tree_count() == 0)
+    throw std::logic_error("CompiledForest: compile before fit");
+  num_classes_ = forest.num_classes();
+
+  std::size_t total_nodes = 0;
+  std::size_t total_leaves = 0;
+  for (const DecisionTree& tree : forest.trees()) {
+    total_nodes += tree.node_count();
+    for (const DecisionTree::Node& node : tree.nodes())
+      if (node.is_leaf()) ++total_leaves;
+  }
+  feature_.reserve(total_nodes);
+  threshold_.reserve(total_nodes);
+  children_.reserve(2 * total_nodes);
+  leaf_offset_.reserve(total_nodes);
+  leaf_pool_.reserve(total_leaves * num_classes_);
+  roots_.reserve(forest.tree_count());
+  walk_.reserve(total_nodes);
+  walk_roots_.reserve(forest.tree_count());
+
+  std::vector<std::size_t> depth;
+  std::vector<std::int32_t> order;   // tree-local node ids in BFS order
+  std::vector<std::int32_t> newpos;  // tree-local node id -> BFS rank
+  for (const DecisionTree& tree : forest.trees()) {
+    if (tree.num_classes() != num_classes_)
+      throw std::logic_error("CompiledForest: inconsistent class counts");
+    if (num_features_ == 0) num_features_ = tree.num_features();
+    if (tree.num_features() != num_features_)
+      throw std::logic_error("CompiledForest: inconsistent feature widths");
+    const auto base = static_cast<std::int32_t>(feature_.size());
+    roots_.push_back(base);  // a tree's node 0 is its root
+    // Children always sit at larger local indices than their parent, so
+    // one forward pass yields every node's depth.
+    depth.assign(tree.node_count(), 0);
+    std::int32_t local = 0;
+    for (const DecisionTree::Node& node : tree.nodes()) {
+      const auto self = base + local;
+      if (node.is_leaf()) {
+        if (node.distribution.size() != num_classes_)
+          throw std::logic_error("CompiledForest: bad leaf width");
+        feature_.push_back(-1);
+        threshold_.push_back(0.0);
+        children_.push_back(self);
+        children_.push_back(self);
+        leaf_offset_.push_back(static_cast<std::int32_t>(leaf_pool_.size()));
+        leaf_pool_.insert(leaf_pool_.end(), node.distribution.begin(),
+                          node.distribution.end());
+        max_depth_ = std::max(max_depth_,
+                              depth[static_cast<std::size_t>(local)]);
+      } else {
+        feature_.push_back(node.feature);
+        threshold_.push_back(node.threshold);
+        children_.push_back(base + node.left);
+        children_.push_back(base + node.right);
+        leaf_offset_.push_back(-1);
+        const std::size_t d = depth[static_cast<std::size_t>(local)] + 1;
+        depth[static_cast<std::size_t>(node.left)] = d;
+        depth[static_cast<std::size_t>(node.right)] = d;
+      }
+      ++local;
+    }
+
+    // Walk mirror: re-lay the tree out in BFS order. A BFS queue hands
+    // sibling pairs consecutive ranks, so a split only needs its left
+    // child's index (right = left + 1).
+    const auto wbase = static_cast<std::int32_t>(walk_.size());
+    walk_roots_.push_back(wbase);
+    const auto& nodes = tree.nodes();
+    order.clear();
+    order.push_back(0);
+    for (std::size_t head = 0; head < order.size(); ++head) {
+      const DecisionTree::Node& node =
+          nodes[static_cast<std::size_t>(order[head])];
+      if (!node.is_leaf()) {
+        order.push_back(node.left);
+        order.push_back(node.right);
+      }
+    }
+    newpos.assign(nodes.size(), 0);
+    for (std::size_t rank = 0; rank < order.size(); ++rank)
+      newpos[static_cast<std::size_t>(order[rank])] =
+          static_cast<std::int32_t>(rank);
+    for (std::size_t rank = 0; rank < order.size(); ++rank) {
+      const auto old_local = static_cast<std::size_t>(order[rank]);
+      const DecisionTree::Node& node = nodes[old_local];
+      const auto self = wbase + static_cast<std::int32_t>(rank);
+      if (node.is_leaf()) {
+        // Quiet NaN whose low bits are the leaf's pool offset: still
+        // compares false against everything (the self-loop driver) and
+        // doubles as the accumulation pass's distribution pointer.
+        const auto offset = static_cast<std::uint64_t>(
+            leaf_offset_[static_cast<std::size_t>(base) + old_local]);
+        walk_.push_back(WalkNode{
+            .threshold = std::bit_cast<double>(kLeafNanBits | offset),
+            .feature = 0,
+            .child = self - 1,
+        });
+      } else {
+        walk_.push_back(WalkNode{
+            .threshold = node.threshold,
+            .feature = node.feature,
+            .child = wbase + newpos[static_cast<std::size_t>(node.left)],
+        });
+      }
+    }
+  }
+}
+
+void CompiledForest::walk_accumulate(std::span<const double> row,
+                                     std::span<double> out) const {
+  const WalkNode* const walk = walk_.data();
+  const double* const pool = leaf_pool_.data();
+  const double* const x = row.data();
+  const std::size_t classes = num_classes_;
+  const std::size_t trees = walk_roots_.size();
+  const std::size_t passes = max_depth_;
+  std::size_t cursor[kWalkGroup];
+  const auto step = [&](std::size_t i) {
+    const WalkNode node = walk[cursor[i]];
+    // !(x <= t) rather than (x > t): NaN features descend right,
+    // exactly as the reference walk's ternary does. Leaves compare
+    // against NaN, so the step degenerates to child + 1 == self.
+    cursor[i] = static_cast<std::size_t>(node.child) +
+                static_cast<std::size_t>(
+                    !(x[static_cast<std::size_t>(node.feature)] <=
+                      node.threshold));
+  };
+  for (std::size_t block = 0; block < trees; block += kWalkGroup) {
+    const std::size_t n = std::min(kWalkGroup, trees - block);
+    for (std::size_t i = 0; i < n; ++i)
+      cursor[i] = static_cast<std::size_t>(walk_roots_[block + i]);
+    // Advance the block's descent chains in lockstep for exactly
+    // max_depth_ passes: the per-lane loads are independent, so their
+    // cache misses overlap, and chains already parked on a leaf spin in
+    // place — no "am I done" branch to mispredict. Full blocks unroll
+    // the lane sweep at compile time (constant lane indices), partial
+    // tail blocks take the generic loop.
+    if (n == kWalkGroup) {
+      for (std::size_t pass = 0; pass < passes; ++pass)
+        [&]<std::size_t... I>(std::index_sequence<I...>) {
+          (step(I), ...);
+        }(std::make_index_sequence<kWalkGroup>{});
+    } else {
+      for (std::size_t pass = 0; pass < passes; ++pass)
+        for (std::size_t i = 0; i < n; ++i) step(i);
+    }
+    // Resolve the block's distribution pointers (pool offsets ride in
+    // the leaf NaNs' mantissas) and get their lines in flight before the
+    // ordered accumulation consumes them one by one.
+    const double* dists[kWalkGroup];
+    for (std::size_t i = 0; i < n; ++i) {
+      dists[i] = pool + (std::bit_cast<std::uint64_t>(
+                             walk[cursor[i]].threshold) &
+                         kLeafOffsetMask);
+      __builtin_prefetch(dists[i]);
+      __builtin_prefetch(dists[i] + 8);
+    }
+    // Accumulate this block's leaves strictly in tree order: the
+    // per-class float sums stay bitwise-identical to the reference
+    // RandomForest::predict_proba's sequential walk.
+    for (std::size_t i = 0; i < n; ++i) {
+      const double* const dist = dists[i];
+      for (std::size_t c = 0; c < classes; ++c) out[c] += dist[c];
+    }
+  }
+}
+
+void CompiledForest::predict_proba_into(std::span<const double> row,
+                                        std::span<double> out) const {
+  if (!compiled())
+    throw std::logic_error("CompiledForest: predict before compile");
+  if (row.size() != num_features_)
+    throw std::invalid_argument("CompiledForest: feature width mismatch");
+  if (out.size() != num_classes_)
+    throw std::invalid_argument(
+        "CompiledForest: output span size must equal num_classes()");
+  std::fill(out.begin(), out.end(), 0.0);
+  walk_accumulate(row, out);
+  const auto k = static_cast<double>(roots_.size());
+  for (double& p : out) p /= k;
+}
+
+Label CompiledForest::predict(std::span<const double> row,
+                              std::span<double> scratch) const {
+  return predict_with_confidence(row, scratch).label;
+}
+
+Classifier::Prediction CompiledForest::predict_with_confidence(
+    std::span<const double> row, std::span<double> scratch) const {
+  predict_proba_into(row, scratch);
+  // First maximum, exactly like std::max_element: ties go to the lowest
+  // label (pinned by tests for both engines).
+  std::size_t best = 0;
+  for (std::size_t c = 1; c < scratch.size(); ++c)
+    if (scratch[c] > scratch[best]) best = c;
+  return Classifier::Prediction{static_cast<Label>(best), scratch[best]};
+}
+
+Label CompiledForest::predict(const FeatureRow& row) const {
+  return predict_with_confidence(row).label;
+}
+
+Classifier::Prediction CompiledForest::predict_with_confidence(
+    const FeatureRow& row) const {
+  double stack[kStackClasses];
+  if (num_classes_ <= kStackClasses && compiled())
+    return predict_with_confidence(row, std::span(stack, num_classes_));
+  std::vector<double> heap(num_classes_);
+  return predict_with_confidence(row, heap);
+}
+
+ClassProbabilities CompiledForest::predict_proba(const FeatureRow& row) const {
+  ClassProbabilities probs(num_classes_);
+  predict_proba_into(row, probs);
+  return probs;
+}
+
+void CompiledForest::predict_rows(std::span<const FeatureRow> rows,
+                                  std::span<Label> out) const {
+  if (out.size() != rows.size())
+    throw std::invalid_argument(
+        "CompiledForest::predict_rows: output span size mismatch");
+  double stack[kStackClasses];
+  std::vector<double> heap;
+  std::span<double> scratch;
+  if (num_classes_ <= kStackClasses && compiled()) {
+    scratch = std::span(stack, num_classes_);
+  } else {
+    heap.resize(num_classes_);
+    scratch = heap;
+  }
+  for (std::size_t i = 0; i < rows.size(); ++i)
+    out[i] = predict(rows[i], scratch);
+}
+
+}  // namespace cgctx::ml

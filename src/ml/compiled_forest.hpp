@@ -1,0 +1,142 @@
+// Allocation-free compiled Random Forest inference engine.
+//
+// A fitted RandomForest stores each tree as std::vector<Node> with a
+// heap-allocated std::vector<double> distribution inside every leaf —
+// fine for training, hostile to the prediction hot path: a 500-tree
+// title verdict chases ~5000 pointer-laden 48-byte nodes and touches as
+// many scattered leaf vectors. CompiledForest flattens the whole
+// ensemble once, after fit, into contiguous structure-of-arrays node
+// storage (feature / threshold / left / right) with every leaf
+// distribution pooled into one flat double array addressed by offset.
+// predict_proba_into then runs with zero heap allocations per call.
+//
+// Tree descent is a chain of dependent loads, so a single walk is bound
+// by memory latency, not compute. The engine therefore walks trees in
+// interleaved blocks of kWalkGroup: the independent descent chains
+// overlap their cache misses, which is where most of the speedup over
+// the reference walk comes from. The hot loop reads a packed 16-byte
+// traversal mirror of the SoA arrays (threshold + feature + one child
+// index; siblings are laid out adjacently by a per-tree BFS) so each
+// descent step touches one cache line instead of three. The walk itself
+// is branchless — a leaf stores threshold = NaN and child = self - 1,
+// so whatever the row holds (including NaN) the comparison is false and
+// the chain spins in place on the leaf — and all chains simply advance
+// for max_depth() passes with no per-node "am I done" branch to
+// mispredict.
+//
+// Parity guarantee: predictions are bitwise-identical to the reference
+// forest. Leaf distributions are accumulated strictly in tree order
+// (walks may interleave, sums may not), per-class sums add in the same
+// order, and the division by tree count matches
+// RandomForest::predict_proba exactly; argmax resolves ties to the
+// lowest label exactly as std::max_element does. The parity tests in
+// tests/ml/compiled_forest_test.cpp pin this bit for bit.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ml/classifier.hpp"
+#include "ml/random_forest.hpp"
+
+namespace cgctx::ml {
+
+class CompiledForest {
+ public:
+  /// Empty (uncompiled) engine; every predict throws std::logic_error.
+  CompiledForest() = default;
+
+  /// Flattens a fitted forest. Throws std::logic_error when the forest
+  /// has no trees (compile before fit).
+  explicit CompiledForest(const RandomForest& forest);
+
+  [[nodiscard]] bool compiled() const { return !roots_.empty(); }
+  [[nodiscard]] std::size_t tree_count() const { return roots_.size(); }
+  [[nodiscard]] std::size_t node_count() const { return feature_.size(); }
+  [[nodiscard]] std::size_t num_classes() const { return num_classes_; }
+  [[nodiscard]] std::size_t num_features() const { return num_features_; }
+  /// Longest root-to-leaf path (edges) over all trees; the number of
+  /// branchless descent passes each walk block runs.
+  [[nodiscard]] std::size_t max_depth() const { return max_depth_; }
+
+  /// Averaged per-tree class probabilities, written into `out` with zero
+  /// heap allocations. `row.size()` must equal num_features() and
+  /// `out.size()` must equal num_classes().
+  void predict_proba_into(std::span<const double> row,
+                          std::span<double> out) const;
+
+  /// Argmax over predict_proba_into using `scratch` (size num_classes())
+  /// as the accumulation buffer; ties resolve to the lowest label.
+  [[nodiscard]] Label predict(std::span<const double> row,
+                              std::span<double> scratch) const;
+
+  /// Label + winning-class confidence, allocation-free via `scratch`.
+  [[nodiscard]] Classifier::Prediction predict_with_confidence(
+      std::span<const double> row, std::span<double> scratch) const;
+
+  /// Convenience forms. They stay allocation-free for class counts up to
+  /// kStackClasses (a stack buffer); wider problems pay one allocation.
+  [[nodiscard]] Label predict(const FeatureRow& row) const;
+  [[nodiscard]] Classifier::Prediction predict_with_confidence(
+      const FeatureRow& row) const;
+  /// Allocates the returned vector (API-boundary convenience).
+  [[nodiscard]] ClassProbabilities predict_proba(const FeatureRow& row) const;
+
+  /// Batch prediction: `out.size()` must equal `rows.size()`. At most one
+  /// scratch allocation per call, never one per row.
+  void predict_rows(std::span<const FeatureRow> rows,
+                    std::span<Label> out) const;
+
+  /// Class counts the stack-buffer convenience paths cover.
+  static constexpr std::size_t kStackClasses = 64;
+
+  /// Tree walks interleaved per block (independent descent chains whose
+  /// cache misses overlap).
+  static constexpr std::size_t kWalkGroup = 16;
+
+ private:
+  void walk_accumulate(std::span<const double> row,
+                       std::span<double> out) const;
+
+  /// One packed traversal node: everything a descent step reads sits in
+  /// one 16-byte (quarter-cache-line) record. Siblings are adjacent, so
+  /// the step is `child + !(row[feature] <= threshold)`; a leaf stores a
+  /// quiet NaN threshold and child = self - 1, making the step an
+  /// unconditional self-loop (the comparison is false for every input,
+  /// NaN included) with feature = 0 keeping the spin's row load valid.
+  /// The NaN's low mantissa bits carry the leaf's pool offset, so the
+  /// accumulation pass reads it straight from the node it already has in
+  /// cache instead of chasing a side array.
+  struct WalkNode {
+    double threshold = 0.0;
+    std::int32_t feature = 0;
+    std::int32_t child = 0;
+  };
+  static_assert(sizeof(WalkNode) == 16);
+
+  // Canonical structure-of-arrays node storage, all trees concatenated,
+  // in the source forest's node order. Node i splits on feature_[i] at
+  // threshold_[i]; its left/right children sit at children_[2i] /
+  // children_[2i+1] (absolute indices). A leaf has feature_[i] = -1,
+  // children_ pointing at itself, and leaf_offset_[i] holding the offset
+  // of its num_classes_-wide distribution in leaf_pool_ (-1 for split
+  // nodes).
+  std::vector<std::int32_t> feature_;
+  std::vector<double> threshold_;
+  std::vector<std::int32_t> children_;
+  std::vector<std::int32_t> leaf_offset_;
+  std::vector<double> leaf_pool_;
+  /// Root node index per tree, in the reference forest's vote order.
+  std::vector<std::int32_t> roots_;
+  // Walk-optimized mirror of the node arrays (per-tree BFS order so
+  // siblings are adjacent), derived from the canonical layout at
+  // compile time and used by the hot descent loop.
+  std::vector<WalkNode> walk_;
+  std::vector<std::int32_t> walk_roots_;
+  std::size_t num_classes_ = 0;
+  std::size_t num_features_ = 0;
+  std::size_t max_depth_ = 0;
+};
+
+}  // namespace cgctx::ml

@@ -171,6 +171,11 @@ ClassProbabilities DecisionTree::predict_proba(const FeatureRow& row) const {
   return descend(row).distribution;
 }
 
+const ClassProbabilities& DecisionTree::leaf_distribution(
+    const FeatureRow& row) const {
+  return descend(row).distribution;
+}
+
 std::size_t DecisionTree::depth_of(std::int32_t node) const {
   const Node& n = nodes_[static_cast<std::size_t>(node)];
   if (n.is_leaf()) return 0;

@@ -30,6 +30,17 @@ struct DecisionTreeParams {
 
 class DecisionTree final : public Classifier {
  public:
+  struct Node {
+    // Internal node when right > 0: descend left if x[feature] <= threshold.
+    std::int32_t feature = -1;
+    double threshold = 0.0;
+    std::int32_t left = 0;
+    std::int32_t right = 0;
+    // Leaf payload: class distribution (normalized counts).
+    std::vector<double> distribution;
+    [[nodiscard]] bool is_leaf() const { return right == 0; }
+  };
+
   explicit DecisionTree(DecisionTreeParams params = {}) : params_(params) {}
 
   void fit(const Dataset& train) override;
@@ -42,9 +53,20 @@ class DecisionTree final : public Classifier {
   [[nodiscard]] ClassProbabilities predict_proba(
       const FeatureRow& row) const override;
 
+  /// The leaf distribution the row descends to, by const reference — the
+  /// internal no-copy path RandomForest accumulates from (predict_proba
+  /// copies it at the API boundary).
+  [[nodiscard]] const ClassProbabilities& leaf_distribution(
+      const FeatureRow& row) const;
+
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
   [[nodiscard]] std::size_t depth() const;
   [[nodiscard]] const DecisionTreeParams& params() const { return params_; }
+  [[nodiscard]] std::size_t num_classes() const { return num_classes_; }
+  [[nodiscard]] std::size_t num_features() const { return num_features_; }
+  /// Fitted node storage (node 0 is the root; a split's left child is
+  /// always the next node). Read by ml::CompiledForest.
+  [[nodiscard]] const std::vector<Node>& nodes() const { return nodes_; }
 
   /// Round-trippable text form.
   [[nodiscard]] std::string serialize() const;
@@ -54,17 +76,6 @@ class DecisionTree final : public Classifier {
   static DecisionTree deserialize_from(std::istream& is);
 
  private:
-  struct Node {
-    // Internal node when right > 0: descend left if x[feature] <= threshold.
-    std::int32_t feature = -1;
-    double threshold = 0.0;
-    std::int32_t left = 0;
-    std::int32_t right = 0;
-    // Leaf payload: class distribution (normalized counts).
-    std::vector<double> distribution;
-    [[nodiscard]] bool is_leaf() const { return right == 0; }
-  };
-
   std::int32_t build(const Dataset& train, std::vector<std::size_t>& indices,
                      std::size_t begin, std::size_t end, std::size_t depth,
                      Rng& rng);

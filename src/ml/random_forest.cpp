@@ -55,7 +55,7 @@ void RandomForest::fit(const Dataset& train) {
     if (params_.bootstrap) {
       for (std::size_t i = 0; i < n; ++i) {
         if (in_bag[i]) continue;
-        const ClassProbabilities p = tree.predict_proba(train.row(i));
+        const ClassProbabilities& p = tree.leaf_distribution(train.row(i));
         for (std::size_t c = 0; c < num_classes_; ++c) oob_votes[i][c] += p[c];
       }
     }
@@ -79,16 +79,25 @@ void RandomForest::fit(const Dataset& train) {
   }
 }
 
-ClassProbabilities RandomForest::predict_proba(const FeatureRow& row) const {
+void RandomForest::predict_proba_into(const FeatureRow& row,
+                                      std::span<double> out) const {
   if (trees_.empty())
     throw std::logic_error("RandomForest: predict before fit");
-  ClassProbabilities probs(num_classes_, 0.0);
+  if (out.size() != num_classes_)
+    throw std::invalid_argument(
+        "RandomForest::predict_proba_into: output span size mismatch");
+  std::fill(out.begin(), out.end(), 0.0);
   for (const DecisionTree& tree : trees_) {
-    const ClassProbabilities p = tree.predict_proba(row);
-    for (std::size_t c = 0; c < num_classes_; ++c) probs[c] += p[c];
+    const ClassProbabilities& p = tree.leaf_distribution(row);
+    for (std::size_t c = 0; c < num_classes_; ++c) out[c] += p[c];
   }
   const auto k = static_cast<double>(trees_.size());
-  for (double& p : probs) p /= k;
+  for (double& p : out) p /= k;
+}
+
+ClassProbabilities RandomForest::predict_proba(const FeatureRow& row) const {
+  ClassProbabilities probs(num_classes_, 0.0);
+  predict_proba_into(row, probs);
   return probs;
 }
 

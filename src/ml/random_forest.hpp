@@ -37,9 +37,18 @@ class RandomForest final : public Classifier {
   [[nodiscard]] Label predict(const FeatureRow& row) const override;
   [[nodiscard]] ClassProbabilities predict_proba(
       const FeatureRow& row) const override;
+  /// Allocation-free: accumulates every tree's leaf distribution straight
+  /// into `out` (size must equal num_classes()).
+  void predict_proba_into(const FeatureRow& row,
+                          std::span<double> out) const override;
 
   [[nodiscard]] const RandomForestParams& params() const { return params_; }
   [[nodiscard]] std::size_t tree_count() const { return trees_.size(); }
+  [[nodiscard]] std::size_t num_classes() const { return num_classes_; }
+  /// Fitted trees in vote order. Read by ml::CompiledForest.
+  [[nodiscard]] const std::vector<DecisionTree>& trees() const {
+    return trees_;
+  }
 
   /// Out-of-bag accuracy estimate computed during fit (rows never drawn
   /// into a tree's bootstrap vote on that tree). NaN when bootstrap=false

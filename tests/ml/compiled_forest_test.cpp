@@ -1,0 +1,197 @@
+#include "ml/compiled_forest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+
+#include "ml/random_forest.hpp"
+
+namespace cgctx::ml {
+namespace {
+
+Dataset blobs(std::size_t per_class, double separation, std::uint64_t seed,
+              std::size_t classes = 2) {
+  std::vector<std::string> names;
+  for (std::size_t c = 0; c < classes; ++c)
+    names.push_back("c" + std::to_string(c));
+  Dataset data({"x", "y"}, names);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < per_class; ++i)
+    for (std::size_t c = 0; c < classes; ++c)
+      data.add({rng.normal(separation * static_cast<double>(c), 1.0),
+                rng.normal(0.0, 1.0)},
+               static_cast<Label>(c));
+  return data;
+}
+
+/// Bit-for-bit double equality (the parity guarantee is bitwise, not
+/// epsilon-based).
+void expect_bitwise_equal(const ClassProbabilities& a,
+                          const ClassProbabilities& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t c = 0; c < a.size(); ++c)
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a[c]),
+              std::bit_cast<std::uint64_t>(b[c]))
+        << "class " << c << ": " << a[c] << " vs " << b[c];
+}
+
+TEST(CompiledForest, LayoutMatchesSource) {
+  const Dataset data = blobs(80, 2.0, 1, 3);
+  RandomForest forest(RandomForestParams{.n_trees = 25, .seed = 2});
+  forest.fit(data);
+  const CompiledForest compiled(forest);
+  EXPECT_TRUE(compiled.compiled());
+  EXPECT_EQ(compiled.tree_count(), forest.tree_count());
+  EXPECT_EQ(compiled.num_classes(), forest.num_classes());
+  EXPECT_EQ(compiled.num_features(), 2u);
+  std::size_t nodes = 0;
+  for (const DecisionTree& tree : forest.trees()) nodes += tree.node_count();
+  EXPECT_EQ(compiled.node_count(), nodes);
+}
+
+TEST(CompiledForest, BitwiseParityWithReferenceForest) {
+  const Dataset data = blobs(120, 1.5, 3, 4);  // overlap -> mixed leaves
+  RandomForest forest(RandomForestParams{.n_trees = 60, .seed = 4});
+  forest.fit(data);
+  const CompiledForest compiled(forest);
+  Rng rng(5);
+  for (int i = 0; i < 300; ++i) {
+    const FeatureRow row{rng.uniform(-4.0, 9.0), rng.uniform(-4.0, 4.0)};
+    expect_bitwise_equal(compiled.predict_proba(row),
+                         forest.predict_proba(row));
+    EXPECT_EQ(compiled.predict(row), forest.predict(row));
+  }
+}
+
+TEST(CompiledForest, PredictProbaIntoMatchesAllocatingForm) {
+  const Dataset data = blobs(60, 2.0, 7, 3);
+  RandomForest forest(RandomForestParams{.n_trees = 20, .seed = 8});
+  forest.fit(data);
+  const CompiledForest compiled(forest);
+  std::vector<double> out(compiled.num_classes());
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) {
+    const FeatureRow row{rng.uniform(-3.0, 7.0), rng.uniform(-3.0, 3.0)};
+    compiled.predict_proba_into(row, out);
+    expect_bitwise_equal(ClassProbabilities(out.begin(), out.end()),
+                         forest.predict_proba(row));
+  }
+}
+
+TEST(CompiledForest, PredictWithConfidenceMatchesReference) {
+  const Dataset data = blobs(100, 2.5, 11);
+  RandomForest forest(RandomForestParams{.n_trees = 30, .seed = 12});
+  forest.fit(data);
+  const CompiledForest compiled(forest);
+  std::vector<double> scratch(compiled.num_classes());
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    const FeatureRow row{rng.uniform(-3.0, 6.0), rng.uniform(-3.0, 3.0)};
+    const auto reference = forest.predict_with_confidence(row);
+    const auto spanned = compiled.predict_with_confidence(row, scratch);
+    const auto convenience = compiled.predict_with_confidence(row);
+    EXPECT_EQ(spanned.label, reference.label);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(spanned.confidence),
+              std::bit_cast<std::uint64_t>(reference.confidence));
+    EXPECT_EQ(convenience.label, reference.label);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(convenience.confidence),
+              std::bit_cast<std::uint64_t>(reference.confidence));
+  }
+}
+
+TEST(CompiledForest, BatchMatchesSingleRowPredictions) {
+  const Dataset data = blobs(80, 1.0, 15, 3);
+  RandomForest forest(RandomForestParams{.n_trees = 15, .seed = 16});
+  forest.fit(data);
+  const CompiledForest compiled(forest);
+  Rng rng(17);
+  std::vector<FeatureRow> rows;
+  for (int i = 0; i < 64; ++i)
+    rows.push_back({rng.uniform(-3.0, 6.0), rng.uniform(-3.0, 3.0)});
+  std::vector<Label> batch(rows.size());
+  compiled.predict_rows(rows, batch);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(batch[i], forest.predict(rows[i]));
+    EXPECT_EQ(batch[i], compiled.predict(rows[i]));
+  }
+}
+
+TEST(CompiledForest, PredictTieBreaksToLowestLabel) {
+  // Identical feature rows with different labels cannot be split: every
+  // tree is a single [0.5, 0.5] leaf (bootstrap off, so each tree sees
+  // the exact 50/50 mix), so predict faces an exact tie and must resolve
+  // to the lowest label — pinned here for both engines.
+  Dataset data({"x", "y"}, {"a", "b"});
+  for (int i = 0; i < 8; ++i) data.add({1.0, 2.0}, i % 2);
+  RandomForest forest(
+      RandomForestParams{.n_trees = 9, .bootstrap = false, .seed = 18});
+  forest.fit(data);
+  const CompiledForest compiled(forest);
+  const FeatureRow row{1.0, 2.0};
+  const ClassProbabilities probs = compiled.predict_proba(row);
+  ASSERT_EQ(probs.size(), 2u);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(probs[0]),
+            std::bit_cast<std::uint64_t>(probs[1]));
+  EXPECT_EQ(forest.predict(row), 0);
+  EXPECT_EQ(compiled.predict(row), 0);
+}
+
+TEST(CompiledForest, ThreeWayTieStillPicksLowestLabel) {
+  Dataset data({"x", "y"}, {"a", "b", "c"});
+  for (int i = 0; i < 9; ++i) data.add({0.5, -0.5}, i % 3);
+  RandomForest forest(
+      RandomForestParams{.n_trees = 4, .bootstrap = false, .seed = 19});
+  forest.fit(data);
+  const CompiledForest compiled(forest);
+  const FeatureRow row{0.5, -0.5};
+  EXPECT_EQ(forest.predict(row), 0);
+  EXPECT_EQ(compiled.predict(row), 0);
+}
+
+TEST(CompiledForest, UncompiledThrowsLogicError) {
+  const CompiledForest empty;
+  EXPECT_FALSE(empty.compiled());
+  EXPECT_THROW((void)empty.predict({1.0, 2.0}), std::logic_error);
+  EXPECT_THROW((void)empty.predict_proba({1.0, 2.0}), std::logic_error);
+}
+
+TEST(CompiledForest, CompileBeforeFitThrows) {
+  const RandomForest unfitted;
+  EXPECT_THROW(CompiledForest{unfitted}, std::logic_error);
+}
+
+TEST(CompiledForest, ValidatesSpanSizes) {
+  const Dataset data = blobs(30, 3.0, 21);
+  RandomForest forest(RandomForestParams{.n_trees = 5, .seed = 22});
+  forest.fit(data);
+  const CompiledForest compiled(forest);
+  std::vector<double> out(compiled.num_classes());
+  std::vector<double> narrow(compiled.num_classes() - 1);
+  const FeatureRow row{0.0, 0.0};
+  const FeatureRow wide{0.0, 0.0, 0.0};
+  EXPECT_THROW(compiled.predict_proba_into(wide, out), std::invalid_argument);
+  EXPECT_THROW(compiled.predict_proba_into(row, narrow),
+               std::invalid_argument);
+  std::vector<Label> short_out(1);
+  const std::vector<FeatureRow> rows{row, row};
+  EXPECT_THROW(compiled.predict_rows(rows, short_out), std::invalid_argument);
+}
+
+TEST(CompiledForest, SurvivesForestSerializationRoundTrip) {
+  const Dataset data = blobs(70, 2.0, 23, 3);
+  RandomForest forest(RandomForestParams{.n_trees = 12, .seed = 24});
+  forest.fit(data);
+  const RandomForest restored = RandomForest::deserialize(forest.serialize());
+  const CompiledForest original(forest);
+  const CompiledForest recompiled(restored);
+  Rng rng(25);
+  for (int i = 0; i < 100; ++i) {
+    const FeatureRow row{rng.uniform(-3.0, 7.0), rng.uniform(-3.0, 3.0)};
+    expect_bitwise_equal(recompiled.predict_proba(row),
+                         original.predict_proba(row));
+  }
+}
+
+}  // namespace
+}  // namespace cgctx::ml

@@ -94,6 +94,30 @@ TEST(DecisionTree, PredictProbaSumsToOne) {
   EXPECT_NEAR(probs[0] + probs[1], 1.0, 1e-12);
 }
 
+TEST(DecisionTree, PredictTieBreaksToLowestLabel) {
+  // Unsplittable data leaves one [0.5, 0.5] leaf; the exact tie must
+  // resolve to the lowest label (first maximum).
+  Dataset data({"x"}, {"a", "b"});
+  for (int i = 0; i < 6; ++i) data.add({1.0}, i % 2);
+  DecisionTree tree;
+  tree.fit(data);
+  const auto probs = tree.predict_proba({1.0});
+  ASSERT_EQ(probs.size(), 2u);
+  EXPECT_EQ(probs[0], probs[1]);
+  EXPECT_EQ(tree.predict({1.0}), 0);
+}
+
+TEST(DecisionTree, LeafDistributionIsTheNoCopyPredictProba) {
+  const Dataset data = blobs(50, 2.0, 7);
+  DecisionTree tree(DecisionTreeParams{.max_depth = 4});
+  tree.fit(data);
+  const FeatureRow row{0.3, -0.4};
+  const ClassProbabilities& ref = tree.leaf_distribution(row);
+  EXPECT_EQ(ref, tree.predict_proba(row));
+  // Same call, same leaf: the reference is stable storage, not a copy.
+  EXPECT_EQ(&ref, &tree.leaf_distribution(row));
+}
+
 TEST(DecisionTree, ThrowsOnEmptyFit) {
   DecisionTree tree;
   EXPECT_THROW(tree.fit(Dataset{}), std::invalid_argument);

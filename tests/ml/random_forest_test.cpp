@@ -113,6 +113,23 @@ TEST(RandomForest, ThrowsOnEmptyFitAndZeroTrees) {
   EXPECT_THROW(none.fit(blobs(5, 1.0, 17)), std::invalid_argument);
 }
 
+TEST(RandomForest, PredictTieBreaksToLowestLabel) {
+  // Identical rows with alternating labels leave every tree a single
+  // [0.5, 0.5] leaf: predict faces an exact probability tie and must
+  // resolve it to the lowest label (std::max_element returns the first
+  // maximum). The compiled engine pins the same rule. Bootstrap is off
+  // so every tree sees the exact 50/50 label mix.
+  Dataset data({"x", "y"}, {"a", "b"});
+  for (int i = 0; i < 10; ++i) data.add({3.0, -1.0}, i % 2);
+  RandomForest forest(
+      RandomForestParams{.n_trees = 7, .bootstrap = false, .seed = 30});
+  forest.fit(data);
+  const auto probs = forest.predict_proba({3.0, -1.0});
+  ASSERT_EQ(probs.size(), 2u);
+  EXPECT_EQ(probs[0], probs[1]);
+  EXPECT_EQ(forest.predict({3.0, -1.0}), 0);
+}
+
 TEST(RandomForest, ThrowsOnPredictBeforeFit) {
   RandomForest forest;
   EXPECT_THROW((void)forest.predict({1.0, 2.0}), std::logic_error);
