@@ -1,19 +1,102 @@
 // Performance microbenchmarks (google-benchmark): the per-packet and
 // per-slot costs that determine whether the method runs in real time at
 // an operator vantage point — flow-table accounting, RTP parsing, packet
-// group labeling, launch-attribute extraction, model inference, and the
-// end-to-end per-session pipeline.
+// group labeling, launch-attribute extraction, model inference, the
+// end-to-end per-session pipeline, and the SessionEngine steady-state
+// hot path (which must not touch the heap — asserted, not just
+// reported: the binary exits non-zero if a steady-state bench
+// allocates).
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+
 #include "common/bench_support.hpp"
+#include "core/session_engine.hpp"
 #include "core/training.hpp"
 #include "net/flow_table.hpp"
 #include "net/framing.hpp"
 #include "sim/session.hpp"
 
+// --- Heap allocation counter -------------------------------------------
+// Every global new is routed through malloc with a counter bump so the
+// steady-state benches can report (and assert) exact allocations per
+// operation. GCC flags free() inside a replaced operator delete as a
+// mismatched pair; the pairing is consistent (new -> malloc, delete ->
+// free), so the diagnostic is suppressed for this block.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                                   (size + static_cast<std::size_t>(align) - 1) &
+                                       ~(static_cast<std::size_t>(align) - 1)))
+    return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+#pragma GCC diagnostic pop
+
 using namespace cgctx;
 
 namespace {
+
+/// Set when a zero-allocation bench observed a heap allocation; main()
+/// turns it into a non-zero exit so CI fails on a hot-path regression.
+bool g_zero_alloc_violation = false;
+
+/// Runs `fn` under the benchmark loop and reports allocations per op.
+template <typename Fn>
+void run_counted(benchmark::State& state, Fn&& fn) {
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (auto _ : state) fn();
+  const std::uint64_t after = g_allocations.load(std::memory_order_relaxed);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["allocs/op"] =
+      state.iterations() == 0
+          ? 0.0
+          : static_cast<double>(after - before) /
+                static_cast<double>(state.iterations());
+}
+
+/// run_counted plus the steady-state contract: any allocation fails the
+/// bench (and, via g_zero_alloc_violation, the whole binary).
+template <typename Fn>
+void run_zero_alloc(benchmark::State& state, Fn&& fn) {
+  run_counted(state, std::forward<Fn>(fn));
+  if (state.counters["allocs/op"] != 0.0) {
+    g_zero_alloc_violation = true;
+    state.SkipWithError("steady-state hot path allocated");
+  }
+}
 
 const sim::LabeledSession& sample_session() {
   static const sim::LabeledSession session = [] {
@@ -123,6 +206,89 @@ void BM_EndToEndSession(benchmark::State& state) {
 }
 BENCHMARK(BM_EndToEndSession);
 
+// --- SessionEngine steady-state hot path -------------------------------
+
+/// Rotating pool of distinct packets so the branch predictor cannot
+/// memorize one packet's path. A power of two: the cursor wraps with a
+/// mask, not a divide.
+constexpr std::size_t kPacketPool = 256;
+static_assert((kPacketPool & (kPacketPool - 1)) == 0);
+
+void BM_EnginePacketSteadyState(benchmark::State& state) {
+  // Drive an engine through a full session so the title verdict is in
+  // and every buffer is at capacity, then measure re-delivering
+  // mid-session packets. Their timestamps precede the current slot
+  // boundary, so each call exercises exactly the steady-state per-packet
+  // work: direction tally plus QoE accumulation, zero heap traffic.
+  const auto& suite = bench::bench_models();
+  static const core::PipelineParams params = core::default_pipeline_params();
+  const auto& packets = sample_session().packets;
+  core::SessionEngine engine(suite.models(), &params);
+  core::NullSessionSink sink;
+  engine.start(packets.front().timestamp);
+  for (const auto& pkt : packets) engine.on_packet(pkt, sink);
+
+  const std::size_t mid = packets.size() / 2;
+  std::size_t next = 0;
+  run_zero_alloc(state, [&] {
+    engine.on_packet(packets[mid + next], sink);
+    next = (next + 1) & (kPacketPool - 1);
+  });
+}
+BENCHMARK(BM_EnginePacketSteadyState);
+
+void BM_EngineTelemetrySessionSteadyState(benchmark::State& state) {
+  // Whole telemetry-mode sessions through one pooled engine:
+  // reset -> start -> set_title -> push_slot xN -> finish. After the
+  // first session installs buffer capacities, subsequent sessions must
+  // not allocate — this is the MultiSessionProbe reuse contract.
+  const auto& suite = bench::bench_models();
+  static const core::PipelineParams params = core::default_pipeline_params();
+  sim::SessionGenerator generator;
+  sim::SessionSpec spec;
+  spec.title = sim::GameTitle::kCsgo;
+  spec.gameplay_seconds = 600.0;
+  spec.seed = 10;
+  const sim::LabeledSession session = generator.generate_slots_only(spec);
+  const core::TitleResult title =
+      suite.models().title->classify(session.packets, session.launch_begin);
+
+  core::SessionEngine engine(suite.models(), &params);
+  core::NullSessionSink sink;
+  const auto run_session = [&] {
+    engine.reset();
+    engine.start(session.launch_begin);
+    engine.set_title(title);
+    for (const sim::SlotSample& sample : session.slots) {
+      core::SlotTelemetry slot;
+      slot.volumetrics =
+          core::RawSlotVolumetrics{sample.down_bytes, sample.down_packets,
+                                   sample.up_bytes, sample.up_packets};
+      slot.frames = sample.frames;
+      slot.rtt_ms = sample.rtt_ms;
+      slot.loss_rate = sample.loss_rate;
+      engine.push_slot(slot, sink);
+    }
+    benchmark::DoNotOptimize(&engine.finish(sink));
+  };
+  run_session();  // warm-up: install buffer capacities
+  run_zero_alloc(state, run_session);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(session.slots.size()));
+}
+BENCHMARK(BM_EngineTelemetrySessionSteadyState);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (g_zero_alloc_violation) {
+    std::fprintf(stderr,
+                 "FAIL: a steady-state hot path performed heap allocations\n");
+    return 1;
+  }
+  return 0;
+}

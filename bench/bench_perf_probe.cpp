@@ -13,6 +13,7 @@
 // runs correctly but time-slices, so the bench prints the detected
 // concurrency and flags under-provisioned runs instead of pretending.
 #include <chrono>
+#include <cstring>
 #include <iomanip>
 #include <iostream>
 #include <thread>
@@ -75,20 +76,28 @@ RunResult run_baseline(const std::vector<net::PacketRecord>& wire,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --smoke: a minimal-workload run for CI — fewer sessions, shorter
+  // wire, shard counts {1, 2}. The single-shard parity check still runs,
+  // so the job fails on behavior regressions, not just crashes.
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+
   std::cout << "== PERF-PROBE: sharded multi-subscriber probe throughput ==\n";
   const unsigned hw = std::thread::hardware_concurrency();
   std::cout << "hardware threads: " << hw << "\n";
+  if (smoke) std::cout << "mode: smoke (minimal workload; numbers are noise)\n";
   if (hw < 4)
     std::cout << "NOTE: < 4 hardware threads; shard workers time-slice one "
                  "core,\nso multi-shard speedups cannot materialize on this "
                  "host.\n";
 
   sim::FleetReplayOptions options;
-  options.sessions = 8;
-  options.gameplay_seconds = 40.0;
-  options.start_spread_s = 20.0;
-  options.cross_traffic_flows = 9;
+  options.sessions = smoke ? 3 : 8;
+  options.gameplay_seconds = smoke ? 20.0 : 40.0;
+  options.start_spread_s = smoke ? 10.0 : 20.0;
+  options.cross_traffic_flows = smoke ? 4 : 9;
   const sim::FleetReplay replay = sim::build_fleet_replay(options);
   std::cout << "wire: " << replay.wire.size() << " packets, "
             << replay.session_flows.size() << " gaming sessions, "
@@ -107,7 +116,11 @@ int main() {
             << std::setw(9) << "reports" << std::setw(10) << "p50_us"
             << std::setw(10) << "p99_us" << "\n";
   double one_shard_pps = 0.0;
-  for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
+  bool parity_ok = true;
+  const std::vector<std::size_t> shard_counts =
+      smoke ? std::vector<std::size_t>{1, 2}
+            : std::vector<std::size_t>{1, 2, 4, 8};
+  for (const std::size_t shards : shard_counts) {
     const RunResult run = run_sharded(replay.wire, models, shards);
     if (shards == 1) one_shard_pps = run.packets_per_sec;
     const auto latency = run.stats.latency();
@@ -122,11 +135,11 @@ int main() {
               << latency.p50_us << std::setw(10) << latency.p99_us << "\n";
 
     if (shards == 1) {
-      const bool identical = run.reports == baseline.reports;
+      parity_ok = run.reports == baseline.reports;
       std::cout << "        single-shard reports identical to "
                    "MultiSessionProbe: "
-                << (identical ? "yes" : "NO — REGRESSION") << "\n";
+                << (parity_ok ? "yes" : "NO — REGRESSION") << "\n";
     }
   }
-  return 0;
+  return parity_ok ? 0 : 1;
 }

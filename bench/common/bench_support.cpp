@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -16,6 +17,33 @@ constexpr const char* kCacheEpoch = "cgctx-bench-v7";
 
 const std::filesystem::path kCacheDir = "cgctx_bench_model_cache";
 
+/// CGCTX_BENCH_SMOKE=1 trades model quality for training time (CI runs
+/// the benches as a smoke test, not for numbers). Smoke models live in
+/// their own cache subdirectory and carry their budget in the version
+/// string, so the two modes can never load each other's models.
+bool smoke_mode() {
+  const char* env = std::getenv("CGCTX_BENCH_SMOKE");
+  return env != nullptr && *env != '\0' && *env != '0';
+}
+
+core::TrainingBudget bench_budget() {
+  core::TrainingBudget budget;
+  if (smoke_mode()) {
+    budget.lab_scale = 0.12;
+    budget.gameplay_seconds = 150.0;
+    budget.augment_copies = 1;
+  } else {
+    budget.lab_scale = 1.0;
+    budget.gameplay_seconds = 180.0;
+    budget.augment_copies = 2;
+  }
+  return budget;
+}
+
+std::filesystem::path cache_dir() {
+  return smoke_mode() ? kCacheDir / "smoke" : kCacheDir;
+}
+
 std::string forest_signature(const ml::RandomForestParams& p) {
   std::ostringstream os;
   os << p.n_trees << 'x' << p.max_depth << 'x' << p.min_samples_split << 'x'
@@ -28,8 +56,11 @@ std::string forest_signature(const ml::RandomForestParams& p) {
 /// three default classifiers, so a params change invalidates stale cached
 /// models instead of silently loading them.
 std::string cache_version() {
+  const core::TrainingBudget budget = bench_budget();
   std::ostringstream os;
   os << kCacheEpoch
+     << "|budget=" << budget.lab_scale << 'x' << budget.gameplay_seconds << 'x'
+     << budget.augment_copies
      << "|title=" << forest_signature(core::TitleClassifierParams{}.forest)
      << "|stage=" << forest_signature(core::StageClassifierParams{}.forest)
      << "|pattern=" << forest_signature(core::PatternInferrerParams{}.forest);
@@ -50,14 +81,11 @@ bool write_file(const std::filesystem::path& path, const std::string& text) {
 }
 
 core::ModelSuite train_and_cache() {
-  std::fprintf(stderr,
-               "[bench] training production-scale models (cached in %s)...\n",
-               kCacheDir.string().c_str());
+  std::fprintf(stderr, "[bench] training %s models (cached in %s)...\n",
+               smoke_mode() ? "smoke-scale" : "production-scale",
+               cache_dir().string().c_str());
   const auto start = std::chrono::steady_clock::now();
-  core::TrainingBudget budget;
-  budget.lab_scale = 1.0;
-  budget.gameplay_seconds = 180.0;
-  budget.augment_copies = 2;
+  const core::TrainingBudget budget = bench_budget();
   double title_acc = 0.0;
   double stage_acc = 0.0;
   double pattern_acc = 0.0;
@@ -73,14 +101,15 @@ core::ModelSuite train_and_cache() {
                100 * stage_acc, 100 * pattern_acc);
 
   std::error_code ec;
-  std::filesystem::create_directories(kCacheDir, ec);
+  const std::filesystem::path dir = cache_dir();
+  std::filesystem::create_directories(dir, ec);
   if (!ec) {
-    const bool ok = write_file(kCacheDir / "version", cache_version()) &&
-                    write_file(kCacheDir / "title.model",
+    const bool ok = write_file(dir / "version", cache_version()) &&
+                    write_file(dir / "title.model",
                                suite.title.serialize()) &&
-                    write_file(kCacheDir / "stage.model",
+                    write_file(dir / "stage.model",
                                suite.stage.serialize()) &&
-                    write_file(kCacheDir / "pattern.model",
+                    write_file(dir / "pattern.model",
                                suite.pattern.serialize());
     if (!ok)
       std::fprintf(stderr, "[bench] warning: model cache write failed\n");
@@ -89,17 +118,18 @@ core::ModelSuite train_and_cache() {
 }
 
 core::ModelSuite load_or_train() {
-  if (read_file(kCacheDir / "version") == cache_version()) {
+  const std::filesystem::path dir = cache_dir();
+  if (read_file(dir / "version") == cache_version()) {
     try {
       core::ModelSuite suite;
       suite.title = core::TitleClassifier::deserialize(
-          read_file(kCacheDir / "title.model"));
+          read_file(dir / "title.model"));
       suite.stage = core::StageClassifier::deserialize(
-          read_file(kCacheDir / "stage.model"));
+          read_file(dir / "stage.model"));
       suite.pattern = core::PatternInferrer::deserialize(
-          read_file(kCacheDir / "pattern.model"));
+          read_file(dir / "pattern.model"));
       std::fprintf(stderr, "[bench] loaded cached models from %s\n",
-                   kCacheDir.string().c_str());
+                   dir.string().c_str());
       return suite;
     } catch (const std::exception& e) {
       std::fprintf(stderr, "[bench] cache unreadable (%s); retraining\n",

@@ -1,14 +1,14 @@
 #include "core/multi_session_probe.hpp"
 
-#include <deque>
 #include <stdexcept>
+#include <utility>
 
 namespace cgctx::core {
 
 namespace {
 
 /// Pre-detection lookback: long enough to cover the detector's warmup so
-/// a new session's analyzer still sees the very first launch packets.
+/// a new session's engine still sees the very first launch packets.
 constexpr net::Duration kLookback = 10 * net::kNanosPerSecond;
 
 }  // namespace
@@ -16,11 +16,12 @@ constexpr net::Duration kLookback = 10 * net::kNanosPerSecond;
 MultiSessionProbe::MultiSessionProbe(PipelineModels models,
                                      MultiSessionProbeParams params,
                                      ReportCallback on_report,
-                                     StreamingAnalyzer::EventCallback on_event)
+                                     SessionEventCallback on_event)
     : models_(models),
       params_(std::move(params)),
       on_report_(std::move(on_report)),
       on_event_(std::move(on_event)),
+      has_event_(static_cast<bool>(on_event_)),
       table_(params_.flow_idle_timeout),
       detector_(params_.pipeline.detector) {
   if (models_.title == nullptr || models_.stage == nullptr ||
@@ -28,10 +29,23 @@ MultiSessionProbe::MultiSessionProbe(PipelineModels models,
     throw std::invalid_argument("MultiSessionProbe: all models are required");
 }
 
+std::unique_ptr<SessionEngine> MultiSessionProbe::acquire_engine() {
+  if (pool_.empty())
+    return std::make_unique<SessionEngine>(models_, &params_.pipeline);
+  std::unique_ptr<SessionEngine> engine = std::move(pool_.back());
+  pool_.pop_back();
+  return engine;
+}
+
+void MultiSessionProbe::release_engine(std::unique_ptr<SessionEngine> engine) {
+  engine->reset();
+  pool_.push_back(std::move(engine));
+}
+
 void MultiSessionProbe::retire(const net::FiveTuple& key) {
-  auto it = sessions_.find(key);
+  const auto it = sessions_.find(key);
   if (it == sessions_.end()) return;
-  const SessionReport report = it->second.analyzer->finish();
+  std::unique_ptr<SessionEngine> engine = std::move(it->second.engine);
   // Drop any residual flow-table entry so a later session on the same
   // five-tuple starts its detection from fresh statistics instead of a
   // lifetime mean diluted by the idle gap. Done before erasing the
@@ -40,7 +54,16 @@ void MultiSessionProbe::retire(const net::FiveTuple& key) {
   sessions_.erase(it);
   ++reports_;
   if (stats_ != nullptr) stats_->count_report();
-  if (on_report_) on_report_(report);
+  if (has_event_) {
+    EventSink sink{&on_event_};
+    const SessionReport& report = engine->finish(sink);
+    if (on_report_) on_report_(report);
+  } else {
+    NullSessionSink sink;
+    const SessionReport& report = engine->finish(sink);
+    if (on_report_) on_report_(report);
+  }
+  release_engine(std::move(engine));
 }
 
 void MultiSessionProbe::push(const net::PacketRecord& pkt) {
@@ -65,7 +88,13 @@ void MultiSessionProbe::push(const net::PacketRecord& pkt) {
   const net::FiveTuple key = pkt.tuple.canonical();
   const auto live = sessions_.find(key);
   if (live != sessions_.end()) {
-    live->second.analyzer->push(pkt);
+    if (has_event_) {
+      EventSink sink{&on_event_};
+      live->second.engine->on_packet(pkt, sink);
+    } else {
+      NullSessionSink sink;
+      live->second.engine->on_packet(pkt, sink);
+    }
     live->second.last_seen = pkt.timestamp;
     sync_stats();
     return;
@@ -84,18 +113,42 @@ void MultiSessionProbe::push(const net::PacketRecord& pkt) {
     return;
   }
 
-  // New session: spin up an analyzer and replay its flow's lookback
-  // packets (the analyzer runs its own detection over them, which
-  // re-fires quickly since the whole flow history is present). The
-  // promoted tuple leaves the shared table — its packets bypass it from
-  // now on, and stale cumulative stats must not greet a future session
-  // that reuses the tuple.
-  Session session;
-  session.analyzer = std::make_unique<StreamingAnalyzer>(
-      models_, params_.pipeline, on_event_);
-  session.last_seen = pkt.timestamp;
+  // New session: acquire a pooled engine and replay the flow's lookback
+  // packets into it. The session clock starts at the flow's earliest
+  // buffered packet — for flows detected within the lookback span (the
+  // detector fires in 1–2 s) that is the flow's true first packet, so
+  // the title window and slot boundaries match a from-the-start
+  // analyzer's exactly. The promoted tuple leaves the shared table — its
+  // packets bypass it from now on, and stale cumulative stats must not
+  // greet a future session that reuses the tuple.
+  net::Timestamp flow_begin = pkt.timestamp;
   for (const net::PacketRecord& earlier : lookback_)
-    if (earlier.tuple.canonical() == key) session.analyzer->push(earlier);
+    if (earlier.tuple.canonical() == key) {
+      flow_begin = earlier.timestamp;
+      break;
+    }
+
+  Session session;
+  session.engine = acquire_engine();
+  session.last_seen = pkt.timestamp;
+  session.engine->start(flow_begin);
+  session.engine->set_detection(*detection);
+  if (has_event_) {
+    StreamEvent event;
+    event.type = StreamEventType::kFlowDetected;
+    event.at_seconds = net::duration_to_seconds(pkt.timestamp - flow_begin);
+    event.detection = detection;
+    on_event_(event);
+    EventSink sink{&on_event_};
+    for (const net::PacketRecord& earlier : lookback_)
+      if (earlier.tuple.canonical() == key)
+        session.engine->on_packet(earlier, sink);
+  } else {
+    NullSessionSink sink;
+    for (const net::PacketRecord& earlier : lookback_)
+      if (earlier.tuple.canonical() == key)
+        session.engine->on_packet(earlier, sink);
+  }
   sessions_.emplace(key, std::move(session));
   table_.erase(key);
   if (stats_ != nullptr) stats_->count_session_started();

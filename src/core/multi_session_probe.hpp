@@ -3,17 +3,26 @@
 // The partner ISP's deployment watches all subscribers at once: the wire
 // carries many concurrent cloud-gaming sessions interleaved with
 // everything else. MultiSessionProbe demultiplexes that firehose —
-// detecting each gaming flow independently, running a per-session
-// StreamingAnalyzer, and retiring sessions when their flow goes idle —
+// detecting each gaming flow independently, driving a per-session
+// core::SessionEngine, and retiring sessions when their flow goes idle —
 // so the single-session machinery scales to the deployment shape.
+//
+// Engines are pooled: a retired session's engine is reset (buffer
+// capacity retained, including the compiled-forest scratch) and reused
+// for the next detected session, so the steady-state per-packet path
+// performs no heap allocations and no per-session construction. When no
+// event callback is installed, packets advance the engine through a
+// compile-time null sink and the event plumbing vanishes entirely.
 #pragma once
 
 #include <deque>
 #include <map>
 #include <memory>
+#include <vector>
 
 #include "core/probe_stats.hpp"
-#include "core/streaming_analyzer.hpp"
+#include "core/session_engine.hpp"
+#include "net/flow_table.hpp"
 
 namespace cgctx::core {
 
@@ -32,10 +41,17 @@ class MultiSessionProbe {
   using ReportCallback = std::function<void(const SessionReport&)>;
 
   /// Models must outlive the probe. `on_report` receives each retired
-  /// session's report (and the remaining ones at flush()).
+  /// session's report (and the remaining ones at flush()); the reference
+  /// is valid only for the duration of the callback (the report lives in
+  /// a pooled engine that is reset afterward).
   MultiSessionProbe(PipelineModels models, MultiSessionProbeParams params,
                     ReportCallback on_report,
-                    StreamingAnalyzer::EventCallback on_event = {});
+                    SessionEventCallback on_event = {});
+
+  /// Non-copyable/movable: pooled engines reference the probe-owned
+  /// pipeline params.
+  MultiSessionProbe(const MultiSessionProbe&) = delete;
+  MultiSessionProbe& operator=(const MultiSessionProbe&) = delete;
 
   /// Feeds one packet from the aggregate stream (timestamp order).
   void push(const net::PacketRecord& pkt);
@@ -50,6 +66,9 @@ class MultiSessionProbe {
 
   [[nodiscard]] std::size_t live_sessions() const { return sessions_.size(); }
   [[nodiscard]] std::size_t reports_emitted() const { return reports_; }
+  /// Engines parked in the reuse pool (grows to the high-water mark of
+  /// concurrent sessions, never beyond).
+  [[nodiscard]] std::size_t pooled_engines() const { return pool_.size(); }
   /// Current size of the shared (undetected-traffic) flow table.
   [[nodiscard]] std::size_t flow_table_size() const { return table_.size(); }
   /// Idle flows evicted from the shared table over the probe's lifetime.
@@ -59,10 +78,22 @@ class MultiSessionProbe {
 
  private:
   struct Session {
-    std::unique_ptr<StreamingAnalyzer> analyzer;
+    std::unique_ptr<SessionEngine> engine;
     net::Timestamp last_seen = 0;
   };
 
+  /// Event-forwarding sink for when an event callback is installed
+  /// (slot records are folded into the report, never re-emitted).
+  struct EventSink {
+    static constexpr bool kWantsEvents = true;
+    static constexpr bool kWantsSlots = false;
+    const SessionEventCallback* on_event;
+    void on_stream_event(const StreamEvent& event) { (*on_event)(event); }
+    void on_slot_record(const SlotRecord&) {}
+  };
+
+  [[nodiscard]] std::unique_ptr<SessionEngine> acquire_engine();
+  void release_engine(std::unique_ptr<SessionEngine> engine);
   void retire(const net::FiveTuple& key);
   /// Forwards eviction deltas and live gauges to stats_ (no-op unset).
   void sync_stats();
@@ -70,13 +101,16 @@ class MultiSessionProbe {
   PipelineModels models_;
   MultiSessionProbeParams params_;
   ReportCallback on_report_;
-  StreamingAnalyzer::EventCallback on_event_;
+  SessionEventCallback on_event_;
+  bool has_event_ = false;
 
   /// Shared front-end: one flow table + detector across all traffic.
   net::FlowTable table_;
   CloudGamingFlowDetector detector_;
   /// Live sessions keyed by canonical flow tuple.
   std::map<net::FiveTuple, Session> sessions_;
+  /// Reset engines awaiting reuse.
+  std::vector<std::unique_ptr<SessionEngine>> pool_;
   /// Rolling lookback of not-yet-attributed traffic (last ~10 s).
   std::deque<net::PacketRecord> lookback_;
   std::size_t reports_ = 0;

@@ -1,10 +1,8 @@
 #include "core/pipeline.hpp"
 
-#include "core/qoe_estimator.hpp"
-
 #include <algorithm>
-#include <cmath>
 #include <stdexcept>
+#include <vector>
 
 #include "net/flow_table.hpp"
 
@@ -29,172 +27,47 @@ std::optional<SessionReport> RealtimePipeline::process_packets(
   }
   if (!detection) return std::nullopt;
 
-  // Keep only the detected flow's packets, in time order.
+  // Keep only the detected flow's packets, in time order. The sort is
+  // stable so equal-timestamp packets replay in wire order, exactly as a
+  // streaming consumer would see them.
   std::vector<net::PacketRecord> flow_packets;
   for (const net::PacketRecord& pkt : packets)
     if (pkt.tuple.canonical() == detection->flow) flow_packets.push_back(pkt);
-  std::sort(flow_packets.begin(), flow_packets.end(),
-            [](const net::PacketRecord& a, const net::PacketRecord& b) {
-              return a.timestamp < b.timestamp;
-            });
+  std::stable_sort(flow_packets.begin(), flow_packets.end(),
+                   [](const net::PacketRecord& a, const net::PacketRecord& b) {
+                     return a.timestamp < b.timestamp;
+                   });
 
-  const net::Timestamp begin = flow_packets.front().timestamp;
-  const net::Timestamp end = flow_packets.back().timestamp;
-  const auto slot_count = static_cast<std::size_t>(
-      (end - begin) / net::kNanosPerSecond + 1);
-
-  // Title classification from the first N seconds.
-  TitleResult title = models_.title->classify(flow_packets, begin);
-
-  // Per-slot telemetry from the packet stream itself: raw volumetrics
-  // plus the passive QoE estimates (frame delivery from RTP markers,
-  // loss from sequence gaps) of the established prior-work method.
-  std::vector<SlotInput> slots(slot_count);
-  for (const net::PacketRecord& pkt : flow_packets) {
-    const auto slot = static_cast<std::size_t>(
-        (pkt.timestamp - begin) / net::kNanosPerSecond);
-    if (slot >= slot_count) continue;
-    SlotInput& input = slots[slot];
-    if (pkt.direction == net::Direction::kDownstream) {
-      ++input.volumetrics.down_packets;
-      input.volumetrics.down_bytes += pkt.payload_size;
-    } else {
-      ++input.volumetrics.up_packets;
-      input.volumetrics.up_bytes += pkt.payload_size;
-    }
-  }
-  const std::vector<EstimatedSlotQoe> qoe = estimate_slot_qoe(
-      flow_packets, begin, net::kNanosPerSecond, slot_count);
-  for (std::size_t s = 0; s < slot_count; ++s) {
-    slots[s].frames = qoe[s].frame_rate;
-    slots[s].loss_rate = qoe[s].loss_rate;
-    // No passive RTT estimate exists for one-way UDP observation; the
-    // deployment feeds RTT from its QoS probes (slot-fidelity telemetry
-    // carries it). Packet mode falls back to a configured value.
-    slots[s].rtt_ms = params_.assumed_rtt_ms;
-  }
-
-  SessionReport report = analyze(std::move(title), slots);
-  report.detection = detection;
-  return report;
+  // Replay the flow through the shared session engine.
+  SessionEngine engine(models_, &params_);
+  engine.start(flow_packets.front().timestamp);
+  engine.set_detection(*detection);
+  NullSessionSink sink;
+  for (const net::PacketRecord& pkt : flow_packets) engine.on_packet(pkt, sink);
+  return engine.finish(sink);
 }
 
 SessionReport RealtimePipeline::process_session(
     const sim::LabeledSession& session) const {
-  TitleResult title =
-      models_.title->classify(session.packets, session.launch_begin);
-  std::vector<SlotInput> slots;
-  slots.reserve(session.slots.size());
+  SessionEngine engine(models_, &params_);
+  engine.start(session.launch_begin);
+  // Title verdict from the launch packet window, installed up front the
+  // way the deployment's launch-window service feeds the slot pipeline.
+  engine.set_title(
+      models_.title->classify(session.packets, session.launch_begin));
+
+  NullSessionSink sink;
+  SlotTelemetry slot;
   for (const sim::SlotSample& sample : session.slots) {
-    SlotInput input;
-    input.volumetrics = RawSlotVolumetrics{sample.down_bytes,
-                                           sample.down_packets,
-                                           sample.up_bytes, sample.up_packets};
-    input.frames = sample.frames;
-    input.rtt_ms = sample.rtt_ms;
-    input.loss_rate = sample.loss_rate;
-    slots.push_back(input);
+    slot.volumetrics = RawSlotVolumetrics{sample.down_bytes,
+                                          sample.down_packets, sample.up_bytes,
+                                          sample.up_packets};
+    slot.frames = sample.frames;
+    slot.rtt_ms = sample.rtt_ms;
+    slot.loss_rate = sample.loss_rate;
+    engine.push_slot(slot, sink);
   }
-  return analyze(std::move(title), slots);
-}
-
-SessionReport RealtimePipeline::analyze(TitleResult title,
-                                        std::span<const SlotInput> slots) const {
-  SessionReport report;
-  report.title = std::move(title);
-  report.duration_s = static_cast<double>(slots.size());
-
-  // Known-title demand hint for the effective-QoE context.
-  std::optional<double> demand_hint;
-  if (report.title.label) {
-    const auto it = params_.title_demand_mbps.find(report.title.class_name);
-    if (it != params_.title_demand_mbps.end()) demand_hint = it->second;
-  }
-
-  VolumetricTracker tracker(params_.tracker);
-  TransitionTracker transitions;
-  // One probability scratch buffer reused by every stage classification
-  // and pattern inference of the session (the compiled-forest path is
-  // allocation-free given this buffer).
-  std::vector<double> scratch(
-      std::max(models_.stage->scratch_size(), models_.pattern->scratch_size()));
-  const std::span<double> stage_scratch(scratch.data(),
-                                        models_.stage->scratch_size());
-  const std::span<double> pattern_scratch(scratch.data(),
-                                          models_.pattern->scratch_size());
-  // Causal peak estimates for the effective-QoE expectations, floored so
-  // the first slots do not divide by near-zero.
-  double peak_mbps = 5.0;
-  double peak_fps = 30.0;
-  double total_mbps = 0.0;
-
-  report.slots.reserve(slots.size());
-  std::vector<QoeLevel> objective_levels;
-  std::vector<QoeLevel> effective_levels;
-  for (std::size_t s = 0; s < slots.size(); ++s) {
-    const SlotInput& input = slots[s];
-    const ml::FeatureRow attrs = tracker.push(input.volumetrics);
-    const ml::Label stage = models_.stage->classify(attrs, stage_scratch);
-    transitions.push(stage);
-
-    // Pattern inference runs continuously: the report carries the most
-    // recent confident verdict (it sharpens as the transition matrix
-    // matures), while pattern_decided_at_s records when the operator
-    // first had a usable answer.
-    if (auto inference = models_.pattern->infer(transitions, pattern_scratch)) {
-      if (!report.pattern)
-        report.pattern_decided_at_s = static_cast<double>(s + 1);
-      report.pattern = inference;
-    }
-
-    SlotRecord record;
-    record.stage = stage;
-    record.throughput_mbps =
-        static_cast<double>(input.volumetrics.down_bytes) * 8.0 / 1e6;
-    record.frame_rate = input.frames;
-    record.rtt_ms = input.rtt_ms;
-    record.loss_rate = input.loss_rate;
-
-    peak_mbps = std::max(peak_mbps, record.throughput_mbps);
-    peak_fps = std::max(peak_fps, record.frame_rate);
-    total_mbps += record.throughput_mbps;
-
-    SlotQoeMetrics metrics;
-    metrics.frame_rate = record.frame_rate;
-    metrics.throughput_mbps = record.throughput_mbps;
-    metrics.rtt_ms = record.rtt_ms;
-    metrics.loss_rate = record.loss_rate;
-
-    QoeContext context;
-    context.stage = stage;
-    context.expected_peak_fps = peak_fps;
-    // The classified title's demand caps the expectation: a low-demand
-    // title is not expected to ever reach generic "good" throughput.
-    context.expected_peak_mbps =
-        demand_hint ? std::min(peak_mbps, *demand_hint) : peak_mbps;
-
-    record.objective = objective_qoe(metrics, params_.qoe);
-    record.effective = effective_qoe(metrics, context, params_.qoe);
-    objective_levels.push_back(record.objective);
-    effective_levels.push_back(record.effective);
-    report.stage_seconds[static_cast<std::size_t>(stage)] +=
-        params_.tracker.slot_seconds;
-    report.slots.push_back(record);
-  }
-
-  // End of session: if the confidence threshold was never reached, fall
-  // back to the unconditional inference (better than nothing for
-  // offline aggregation, flagged by pattern_decided_at_s < 0).
-  if (!report.pattern && transitions.transition_count() > 0)
-    report.pattern =
-        models_.pattern->infer_unchecked(transitions, pattern_scratch);
-
-  report.objective_session = session_level(objective_levels);
-  report.effective_session = session_level(effective_levels);
-  report.mean_down_mbps =
-      report.slots.empty() ? 0.0
-                           : total_mbps / static_cast<double>(report.slots.size());
-  return report;
+  return engine.finish(sink);
 }
 
 }  // namespace cgctx::core

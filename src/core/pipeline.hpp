@@ -1,4 +1,4 @@
-// The real-time analysis pipeline (paper Fig. 6), assembled.
+// The real-time analysis pipeline (paper Fig. 6), assembled for batch use.
 //
 // Packet streams (or, at ISP scale, per-second flow telemetry plus the
 // launch packet window) flow through:
@@ -8,83 +8,22 @@
 //      activity stage classification -> transition tracking -> gameplay
 //      activity pattern inference;
 //   4. objective QoE measurement and context-calibrated effective QoE.
-// The output is one SessionReport per streaming session, the record the
-// partner ISP's observability platform ingests.
+// Steps 2–4 are core::SessionEngine — the same state machine the
+// streaming analyzer and vantage-point probes advance packet by packet.
+// RealtimePipeline is the offline driver: it detects the flow over a
+// whole capture, then replays it into an engine, so batch results are
+// identical to streaming ones by construction. The output is one
+// SessionReport per streaming session, the record the partner ISP's
+// observability platform ingests.
 #pragma once
 
-#include <map>
 #include <optional>
 #include <span>
-#include <string>
 
-#include "core/flow_detector.hpp"
-#include "core/qoe.hpp"
-#include "core/stage_classifier.hpp"
-#include "core/title_classifier.hpp"
-#include "core/transition_model.hpp"
-#include "core/volumetric_tracker.hpp"
+#include "core/session_engine.hpp"
 #include "sim/session.hpp"
 
 namespace cgctx::core {
-
-/// Trained models the pipeline consults (owned by the caller; the
-/// pipeline itself stays cheap to construct per session).
-struct PipelineModels {
-  const TitleClassifier* title = nullptr;
-  const StageClassifier* stage = nullptr;
-  const PatternInferrer* pattern = nullptr;
-};
-
-struct PipelineParams {
-  FlowDetectorParams detector{};
-  VolumetricTrackerParams tracker{};
-  PatternInferrerParams pattern{};  ///< thresholds (model supplies weights)
-  ObjectiveQoeThresholds qoe{};
-  /// Per-title expected peak demand (Mbps), keyed by classifier class
-  /// name; consulted by the effective-QoE context when the title is
-  /// known. Unknown titles fall back to the session's observed peak.
-  std::map<std::string, double> title_demand_mbps;
-  /// RTT assumed in packet mode when no QoS probe feed is present
-  /// (slot-fidelity telemetry carries measured RTT instead).
-  double assumed_rtt_ms = 15.0;
-};
-
-/// Pipeline outputs for one I-second slot.
-struct SlotRecord {
-  ml::Label stage = kStageIdle;
-  QoeLevel objective = QoeLevel::kGood;
-  QoeLevel effective = QoeLevel::kGood;
-  double throughput_mbps = 0.0;
-  double frame_rate = 0.0;
-  double rtt_ms = 0.0;
-  double loss_rate = 0.0;
-
-  friend bool operator==(const SlotRecord&, const SlotRecord&) = default;
-};
-
-/// The per-session record produced by the pipeline.
-struct SessionReport {
-  std::optional<DetectionResult> detection;
-  TitleResult title;
-  /// Most recent confident pattern inference (sharpens as the transition
-  /// matrix matures); end-of-session unconditional fallback if confidence
-  /// was never reached.
-  std::optional<PatternResult> pattern;
-  /// Seconds into the session at which the pattern inference first
-  /// cleared the confidence threshold; <0 when it never did.
-  double pattern_decided_at_s = -1.0;
-  std::vector<SlotRecord> slots;
-  QoeLevel objective_session = QoeLevel::kGood;
-  QoeLevel effective_session = QoeLevel::kGood;
-  /// Classified seconds per stage (indexed active/passive/idle).
-  std::array<double, kNumStageLabels> stage_seconds{};
-  double mean_down_mbps = 0.0;
-  double duration_s = 0.0;
-
-  /// Exact field-wise equality (doubles compared bitwise-equal); used to
-  /// verify that probe refactors reproduce reports identically.
-  friend bool operator==(const SessionReport&, const SessionReport&) = default;
-};
 
 class RealtimePipeline {
  public:
@@ -105,16 +44,6 @@ class RealtimePipeline {
   [[nodiscard]] const PipelineParams& params() const { return params_; }
 
  private:
-  /// Shared back half: title result + slot telemetry -> full report.
-  struct SlotInput {
-    RawSlotVolumetrics volumetrics;
-    double frames = 0.0;
-    double rtt_ms = 0.0;
-    double loss_rate = 0.0;
-  };
-  [[nodiscard]] SessionReport analyze(TitleResult title,
-                                      std::span<const SlotInput> slots) const;
-
   PipelineModels models_;
   PipelineParams params_;
 };

@@ -86,9 +86,13 @@ QoeLevel effective_qoe(const SlotQoeMetrics& metrics, const QoeContext& context,
 }
 
 QoeLevel session_level(const std::vector<QoeLevel>& slot_levels) {
-  std::array<std::size_t, 3> counts{};
+  std::array<std::size_t, kNumQoeLevels> counts{};
   for (QoeLevel level : slot_levels)
     ++counts[static_cast<std::size_t>(level)];
+  return session_level(counts);
+}
+
+QoeLevel session_level(const std::array<std::size_t, kNumQoeLevels>& counts) {
   // Majority; ties resolve toward the worse level.
   QoeLevel best = QoeLevel::kBad;
   std::size_t best_count = counts[0];

@@ -11,6 +11,7 @@
 // gates stay exactly as they were.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 
@@ -19,6 +20,8 @@
 namespace cgctx::core {
 
 enum class QoeLevel : std::uint8_t { kBad = 0, kMedium = 1, kGood = 2 };
+
+inline constexpr std::size_t kNumQoeLevels = 3;
 
 const char* to_string(QoeLevel level);
 
@@ -70,5 +73,9 @@ QoeLevel effective_qoe(const SlotQoeMetrics& metrics, const QoeContext& context,
 /// Majority vote across slot levels -> session-level label (ties resolve
 /// toward the worse level, matching a conservative operator posture).
 QoeLevel session_level(const std::vector<QoeLevel>& slot_levels);
+
+/// Counts-based variant (indexed by QoeLevel): incremental callers tally
+/// per-level counts as slots close instead of collecting a level vector.
+QoeLevel session_level(const std::array<std::size_t, kNumQoeLevels>& counts);
 
 }  // namespace cgctx::core

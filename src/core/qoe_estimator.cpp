@@ -11,6 +11,20 @@ void QoeEstimator::set_nominal_fps(double fps) {
   if (fps > 0.0) nominal_fps_ = fps;
 }
 
+void QoeEstimator::reset() {
+  frames_ = 0;
+  packets_ = 0;
+  bytes_ = 0;
+  received_ = 0;
+  lag_ms_sum_ = 0.0;
+  lag_samples_ = 0;
+  last_seq_.reset();
+  extended_seq_ = 0;
+  highest_extended_ = 0;
+  slot_base_extended_ = 0;
+  last_frame_end_.reset();
+}
+
 void QoeEstimator::add(const net::PacketRecord& pkt) {
   if (pkt.direction != net::Direction::kDownstream) return;
   if (!pkt.rtp) return;

@@ -53,6 +53,10 @@ class QoeEstimator {
   /// rises). Values <= 0 are ignored.
   void set_nominal_fps(double fps);
 
+  /// Clears all per-slot and cross-slot state for a new session, keeping
+  /// the configured nominal frame rate.
+  void reset();
+
   [[nodiscard]] double nominal_fps() const { return nominal_fps_; }
 
  private:

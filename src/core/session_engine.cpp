@@ -1,0 +1,206 @@
+#include "core/session_engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cgctx::core {
+
+const char* to_string(StreamEventType type) {
+  switch (type) {
+    case StreamEventType::kFlowDetected: return "flow-detected";
+    case StreamEventType::kTitleClassified: return "title-classified";
+    case StreamEventType::kStageChanged: return "stage-changed";
+    case StreamEventType::kPatternInferred: return "pattern-inferred";
+  }
+  return "?";
+}
+
+SessionEngine::SessionEngine(PipelineModels models,
+                             const PipelineParams* params)
+    : models_(models), params_(params) {
+  if (models_.title == nullptr || models_.stage == nullptr ||
+      models_.pattern == nullptr)
+    throw std::invalid_argument("SessionEngine: all models are required");
+  if (params_ == nullptr)
+    throw std::invalid_argument("SessionEngine: params are required");
+  scratch_.resize(std::max({models_.title->scratch_size(),
+                            models_.stage->scratch_size(),
+                            models_.pattern->scratch_size()}));
+  title_window_seconds_ = models_.title->params().attributes.window_seconds;
+  tracker_ = VolumetricTracker(params_->tracker);
+}
+
+std::span<double> SessionEngine::scratch(std::size_t n) {
+  if (scratch_.size() < n) scratch_.resize(n);  // models retrained mid-life
+  return std::span<double>(scratch_.data(), n);
+}
+
+void SessionEngine::start(net::Timestamp flow_begin) {
+  started_ = true;
+  flow_begin_ = flow_begin;
+}
+
+void SessionEngine::set_detection(const DetectionResult& detection) {
+  report_.detection = detection;
+}
+
+void SessionEngine::install_title(const TitleResult& title) {
+  // Field-wise copy: class_name assignment reuses the report string's
+  // capacity, keeping pooled reuse allocation-free past the first session.
+  report_.title.label = title.label;
+  report_.title.class_name = title.class_name;
+  report_.title.confidence = title.confidence;
+  title_done_ = true;
+  has_demand_hint_ = false;
+  if (report_.title.label) {
+    const auto it = params_->title_demand_mbps.find(report_.title.class_name);
+    if (it != params_->title_demand_mbps.end()) {
+      has_demand_hint_ = true;
+      demand_hint_mbps_ = it->second;
+    }
+  }
+}
+
+void SessionEngine::set_title(const TitleResult& title) {
+  install_title(title);
+}
+
+void SessionEngine::classify_pending_title() {
+  install_title(models_.title->classify_features(
+      launch_attributes(title_window_, flow_begin_,
+                        models_.title->params().attributes),
+      scratch(models_.title->scratch_size())));
+  title_window_.clear();  // keeps capacity for the next session
+}
+
+SessionEngine::SlotOutcome SessionEngine::close_slot_core() {
+  const EstimatedSlotQoe estimated = qoe_.end_slot();
+  SlotTelemetry slot;
+  slot.volumetrics = current_slot_;
+  slot.frames = estimated.frame_rate;
+  // No passive RTT estimate exists for one-way UDP observation; the
+  // deployment feeds RTT from its QoS probes (slot-fidelity telemetry
+  // carries it). Packet mode falls back to a configured value.
+  slot.rtt_ms = params_->assumed_rtt_ms;
+  slot.loss_rate = estimated.loss_rate;
+  current_slot_ = RawSlotVolumetrics{};
+  return ingest_slot(slot);
+}
+
+SessionEngine::SlotOutcome SessionEngine::ingest_slot(
+    const SlotTelemetry& slot) {
+  SlotOutcome outcome;
+  outcome.at_seconds = static_cast<double>(next_slot_ + 1);
+
+  tracker_.push_into(slot.volumetrics, attrs_);
+  const ml::Label stage = models_.stage->classify(
+      std::span<const double>(attrs_), scratch(models_.stage->scratch_size()));
+  transitions_.push(stage);
+
+  if (stage != last_stage_) {
+    outcome.stage_changed = true;
+    last_stage_ = stage;
+  }
+
+  // Pattern inference runs continuously: the report carries the most
+  // recent confident verdict (it sharpens as the transition matrix
+  // matures), while pattern_decided_at_s records when the operator first
+  // had a usable answer.
+  if (auto inference = models_.pattern->infer(
+          transitions_, scratch(models_.pattern->scratch_size()))) {
+    const bool first = !pattern_.has_value();
+    const bool changed = !pattern_ || pattern_->label != inference->label;
+    pattern_ = inference;
+    if (first) pattern_decided_at_s_ = outcome.at_seconds;
+    outcome.pattern_event = first || changed;
+  }
+
+  SlotRecord record;
+  record.stage = stage;
+  record.throughput_mbps =
+      static_cast<double>(slot.volumetrics.down_bytes) * 8.0 / 1e6;
+  record.frame_rate = slot.frames;
+  record.rtt_ms = slot.rtt_ms;
+  record.loss_rate = slot.loss_rate;
+
+  peak_mbps_ = std::max(peak_mbps_, record.throughput_mbps);
+  peak_fps_ = std::max(peak_fps_, record.frame_rate);
+  total_mbps_ += record.throughput_mbps;
+
+  const SlotQoeMetrics metrics{record.frame_rate, record.throughput_mbps,
+                               record.rtt_ms, record.loss_rate};
+  QoeContext context;
+  context.stage = stage;
+  context.expected_peak_fps = peak_fps_;
+  // The classified title's demand caps the expectation: a low-demand
+  // title is not expected to ever reach generic "good" throughput.
+  context.expected_peak_mbps = has_demand_hint_
+                                   ? std::min(peak_mbps_, demand_hint_mbps_)
+                                   : peak_mbps_;
+  record.objective = objective_qoe(metrics, params_->qoe);
+  record.effective = effective_qoe(metrics, context, params_->qoe);
+
+  ++objective_counts_[static_cast<std::size_t>(record.objective)];
+  ++effective_counts_[static_cast<std::size_t>(record.effective)];
+  report_.stage_seconds[static_cast<std::size_t>(stage)] +=
+      params_->tracker.slot_seconds;
+  report_.slots.push_back(record);
+  ++next_slot_;
+  return outcome;
+}
+
+void SessionEngine::finalize() {
+  report_.pattern = pattern_;
+  report_.pattern_decided_at_s = pattern_decided_at_s_;
+  // If the confidence threshold was never reached, fall back to the
+  // unconditional inference (better than nothing for offline aggregation,
+  // flagged by pattern_decided_at_s < 0).
+  if (!report_.pattern && transitions_.transition_count() > 0)
+    report_.pattern = models_.pattern->infer_unchecked(
+        transitions_, scratch(models_.pattern->scratch_size()));
+  report_.duration_s = static_cast<double>(report_.slots.size());
+  report_.objective_session = session_level(objective_counts_);
+  report_.effective_session = session_level(effective_counts_);
+  report_.mean_down_mbps =
+      report_.slots.empty()
+          ? 0.0
+          : total_mbps_ / static_cast<double>(report_.slots.size());
+}
+
+void SessionEngine::reset() {
+  started_ = false;
+  flow_begin_ = 0;
+  title_window_.clear();
+  title_done_ = false;
+  has_demand_hint_ = false;
+  demand_hint_mbps_ = 0.0;
+  next_slot_ = 0;
+  current_slot_ = RawSlotVolumetrics{};
+  qoe_.reset();
+  tracker_.reset();
+  transitions_.reset();
+  last_stage_ = -1;
+  pattern_.reset();
+  pattern_decided_at_s_ = -1.0;
+  // Clear the report in place (not report_ = {}): the slot vector and
+  // class-name string keep their capacity for the next pooled session.
+  report_.detection.reset();
+  report_.title.label.reset();
+  report_.title.class_name.clear();
+  report_.title.confidence = 0.0;
+  report_.pattern.reset();
+  report_.pattern_decided_at_s = -1.0;
+  report_.slots.clear();
+  report_.objective_session = QoeLevel::kGood;
+  report_.effective_session = QoeLevel::kGood;
+  report_.stage_seconds.fill(0.0);
+  report_.mean_down_mbps = 0.0;
+  report_.duration_s = 0.0;
+  objective_counts_.fill(0);
+  effective_counts_.fill(0);
+  peak_mbps_ = 5.0;
+  peak_fps_ = 30.0;
+  total_mbps_ = 0.0;
+}
+
+}  // namespace cgctx::core

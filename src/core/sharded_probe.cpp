@@ -34,7 +34,7 @@ struct ShardedProbe::Shard {
 
   Shard(PipelineModels models, const MultiSessionProbeParams& params,
         MultiSessionProbe::ReportCallback on_report,
-        StreamingAnalyzer::EventCallback on_event)
+        SessionEventCallback on_event)
       : probe(models, params, std::move(on_report), std::move(on_event)) {
     probe.set_stats(&stats);
   }
@@ -42,7 +42,7 @@ struct ShardedProbe::Shard {
 
 ShardedProbe::ShardedProbe(PipelineModels models, ShardedProbeParams params,
                            ReportCallback on_report,
-                           StreamingAnalyzer::EventCallback on_event)
+                           SessionEventCallback on_event)
     : params_(std::move(params)), on_report_(std::move(on_report)) {
   if (params_.num_shards == 0)
     throw std::invalid_argument("ShardedProbe: num_shards must be >= 1");
@@ -57,7 +57,7 @@ ShardedProbe::ShardedProbe(PipelineModels models, ShardedProbeParams params,
   };
   // Events are serialized through the same mutex so downstream consumers
   // never see interleaved callbacks from two shards.
-  StreamingAnalyzer::EventCallback event_sink;
+  SessionEventCallback event_sink;
   if (on_event) {
     event_sink = [this, on_event = std::move(on_event)](
                      const StreamEvent& event) {

@@ -64,8 +64,7 @@ class ShardedProbe {
   /// `on_report` / `on_event` are invoked from worker threads but never
   /// concurrently (an internal mutex serializes them).
   ShardedProbe(PipelineModels models, ShardedProbeParams params,
-               ReportCallback on_report,
-               StreamingAnalyzer::EventCallback on_event = {});
+               ReportCallback on_report, SessionEventCallback on_event = {});
   ~ShardedProbe();
 
   ShardedProbe(const ShardedProbe&) = delete;

@@ -31,6 +31,11 @@ ml::Label StageClassifier::classify(const ml::FeatureRow& attributes,
   return compiled_.predict(attributes, scratch);
 }
 
+ml::Label StageClassifier::classify(std::span<const double> attributes,
+                                    std::span<double> scratch) const {
+  return compiled_.predict(attributes, scratch);
+}
+
 ml::Classifier::Prediction StageClassifier::classify_with_confidence(
     const ml::FeatureRow& attributes, std::span<double> scratch) const {
   return compiled_.predict_with_confidence(attributes, scratch);

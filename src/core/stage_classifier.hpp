@@ -50,6 +50,10 @@ class StageClassifier {
   /// probability accumulation buffer, reusable across slots.
   [[nodiscard]] ml::Label classify(const ml::FeatureRow& attributes,
                                    std::span<double> scratch) const;
+  /// Span overload: lets callers keep the attribute row in a fixed
+  /// std::array instead of a heap-backed FeatureRow.
+  [[nodiscard]] ml::Label classify(std::span<const double> attributes,
+                                   std::span<double> scratch) const;
   [[nodiscard]] ml::Classifier::Prediction classify_with_confidence(
       const ml::FeatureRow& attributes, std::span<double> scratch) const;
 

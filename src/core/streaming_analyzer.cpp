@@ -1,48 +1,19 @@
 #include "core/streaming_analyzer.hpp"
 
-#include <algorithm>
-#include <stdexcept>
-
 namespace cgctx::core {
-
-const char* to_string(StreamEventType type) {
-  switch (type) {
-    case StreamEventType::kFlowDetected: return "flow-detected";
-    case StreamEventType::kTitleClassified: return "title-classified";
-    case StreamEventType::kStageChanged: return "stage-changed";
-    case StreamEventType::kPatternInferred: return "pattern-inferred";
-  }
-  return "?";
-}
 
 StreamingAnalyzer::StreamingAnalyzer(PipelineModels models,
                                      PipelineParams params,
                                      EventCallback on_event,
                                      SlotCallback on_slot)
-    : models_(models),
-      params_(std::move(params)),
+    : params_(std::move(params)),
       on_event_(std::move(on_event)),
       on_slot_(std::move(on_slot)),
       detector_(params_.detector),
-      tracker_(params_.tracker) {
-  if (models_.title == nullptr || models_.stage == nullptr ||
-      models_.pattern == nullptr)
-    throw std::invalid_argument("StreamingAnalyzer: all models are required");
-  scratch_.resize(std::max({models_.title->scratch_size(),
-                            models_.stage->scratch_size(),
-                            models_.pattern->scratch_size()}));
-}
-
-std::span<double> StreamingAnalyzer::scratch(std::size_t n) {
-  if (scratch_.size() < n) scratch_.resize(n);  // models retrained mid-life
-  return std::span<double>(scratch_.data(), n);
-}
-
-void StreamingAnalyzer::emit(StreamEvent event) {
-  if (on_event_) on_event_(event);
-}
+      engine_(models, &params_) {}
 
 void StreamingAnalyzer::push(const net::PacketRecord& pkt) {
+  CallbackSink sink{this};
   if (!detection_) {
     // Detection needs a few hundred packets; the launch-stage packets
     // seen before the verdict still belong to the title-classification
@@ -58,175 +29,38 @@ void StreamingAnalyzer::push(const net::PacketRecord& pkt) {
     detection_ = detector_.detect(flow);
     if (!detection_) return;
     flow_begin_ = flow.first_seen;
-    report_.detection = detection_;
-    StreamEvent event;
-    event.type = StreamEventType::kFlowDetected;
-    event.at_seconds = net::duration_to_seconds(pkt.timestamp - flow_begin_);
-    event.detection = detection_;
-    emit(event);
+    engine_.start(flow_begin_);
+    engine_.set_detection(*detection_);
+    if (on_event_) {
+      StreamEvent event;
+      event.type = StreamEventType::kFlowDetected;
+      event.at_seconds = net::duration_to_seconds(pkt.timestamp - flow_begin_);
+      event.detection = detection_;
+      on_event_(event);
+    }
     // Replay the buffered packets of the detected flow (the triggering
     // packet is among them).
     std::deque<net::PacketRecord> buffered;
     buffered.swap(pre_buffer_);
     for (const net::PacketRecord& earlier : buffered)
       if (earlier.tuple.canonical() == detection_->flow)
-        analyze_packet(earlier);
+        engine_.on_packet(earlier, sink);
     return;
   }
   if (pkt.tuple.canonical() != detection_->flow) return;
-  analyze_packet(pkt);
-}
-
-void StreamingAnalyzer::analyze_packet(const net::PacketRecord& pkt) {
-  const double t = net::duration_to_seconds(pkt.timestamp - flow_begin_);
-
-  // Title window: buffer the first N seconds, classify once elapsed.
-  const double window = models_.title->params().attributes.window_seconds;
-  if (!title_done_) {
-    if (t < window) {
-      title_window_.push_back(pkt);
-    } else {
-      title_ = models_.title->classify_features(
-          launch_attributes(title_window_, flow_begin_,
-                            models_.title->params().attributes),
-          scratch(models_.title->scratch_size()));
-      title_done_ = true;
-      title_window_.clear();
-      title_window_.shrink_to_fit();
-      report_.title = title_;
-      StreamEvent event;
-      event.type = StreamEventType::kTitleClassified;
-      event.at_seconds = t;
-      event.title = title_;
-      emit(event);
-    }
-  }
-
-  // Close any slots the clock has passed.
-  while (pkt.timestamp - flow_begin_ >=
-         static_cast<net::Timestamp>(next_slot_ + 1) * net::kNanosPerSecond)
-    close_slot();
-
-  // Tally into the open slot.
-  if (pkt.direction == net::Direction::kDownstream) {
-    ++current_slot_.down_packets;
-    current_slot_.down_bytes += pkt.payload_size;
-  } else {
-    ++current_slot_.up_packets;
-    current_slot_.up_bytes += pkt.payload_size;
-  }
-  qoe_.add(pkt);
-}
-
-void StreamingAnalyzer::close_slot() {
-  const EstimatedSlotQoe estimated = qoe_.end_slot();
-  const ml::FeatureRow attrs = tracker_.push(current_slot_);
-  const ml::Label stage =
-      models_.stage->classify(attrs, scratch(models_.stage->scratch_size()));
-  transitions_.push(stage);
-  const double at_s = static_cast<double>(next_slot_ + 1);
-
-  if (stage != last_stage_) {
-    StreamEvent event;
-    event.type = StreamEventType::kStageChanged;
-    event.at_seconds = at_s;
-    event.stage = stage;
-    emit(event);
-    last_stage_ = stage;
-  }
-
-  if (auto inference = models_.pattern->infer(
-          transitions_, scratch(models_.pattern->scratch_size()))) {
-    const bool first = !pattern_.has_value();
-    const bool changed = !pattern_ || pattern_->label != inference->label;
-    pattern_ = inference;
-    if (first) pattern_decided_at_s_ = at_s;
-    if (first || changed) {
-      StreamEvent event;
-      event.type = StreamEventType::kPatternInferred;
-      event.at_seconds = at_s;
-      event.pattern = pattern_;
-      emit(event);
-    }
-  }
-
-  SlotRecord record;
-  record.stage = stage;
-  record.throughput_mbps =
-      static_cast<double>(current_slot_.down_bytes) * 8.0 / 1e6;
-  record.frame_rate = estimated.frame_rate;
-  record.rtt_ms = params_.assumed_rtt_ms;
-  record.loss_rate = estimated.loss_rate;
-
-  peak_mbps_ = std::max(peak_mbps_, record.throughput_mbps);
-  peak_fps_ = std::max(peak_fps_, record.frame_rate);
-  total_mbps_ += record.throughput_mbps;
-
-  SlotQoeMetrics metrics{record.frame_rate, record.throughput_mbps,
-                         record.rtt_ms, record.loss_rate};
-  QoeContext context;
-  context.stage = stage;
-  context.expected_peak_fps = peak_fps_;
-  context.expected_peak_mbps = peak_mbps_;
-  if (title_done_ && title_.label) {
-    const auto it = params_.title_demand_mbps.find(title_.class_name);
-    if (it != params_.title_demand_mbps.end())
-      context.expected_peak_mbps = std::min(peak_mbps_, it->second);
-  }
-  record.objective = objective_qoe(metrics, params_.qoe);
-  record.effective = effective_qoe(metrics, context, params_.qoe);
-  objective_levels_.push_back(record.objective);
-  effective_levels_.push_back(record.effective);
-  report_.stage_seconds[static_cast<std::size_t>(stage)] +=
-      params_.tracker.slot_seconds;
-  report_.slots.push_back(record);
-  if (on_slot_) on_slot_(record);
-
-  current_slot_ = RawSlotVolumetrics{};
-  ++next_slot_;
+  engine_.on_packet(pkt, sink);
 }
 
 SessionReport StreamingAnalyzer::finish() {
-  if (detection_ &&
-      (current_slot_.down_packets + current_slot_.up_packets) > 0)
-    close_slot();
-
-  report_.pattern = pattern_;
-  report_.pattern_decided_at_s = pattern_decided_at_s_;
-  if (!report_.pattern && transitions_.transition_count() > 0)
-    report_.pattern = models_.pattern->infer_unchecked(
-        transitions_, scratch(models_.pattern->scratch_size()));
-  report_.duration_s = static_cast<double>(report_.slots.size());
-  report_.objective_session = session_level(objective_levels_);
-  report_.effective_session = session_level(effective_levels_);
-  report_.mean_down_mbps = report_.slots.empty()
-                               ? 0.0
-                               : total_mbps_ /
-                                     static_cast<double>(report_.slots.size());
-  SessionReport out = std::move(report_);
+  CallbackSink sink{this};
+  SessionReport out = engine_.finish(sink);  // copy: the engine is reused
 
   // Reset for the next session.
+  engine_.reset();
   table_ = net::FlowTable();
   detection_.reset();
   flow_begin_ = 0;
   pre_buffer_.clear();
-  title_window_.clear();
-  title_done_ = false;
-  title_ = TitleResult{};
-  next_slot_ = 0;
-  current_slot_ = RawSlotVolumetrics{};
-  qoe_ = QoeEstimator(60.0);
-  tracker_.reset();
-  transitions_.reset();
-  last_stage_ = -1;
-  pattern_.reset();
-  pattern_decided_at_s_ = -1.0;
-  report_ = SessionReport{};
-  objective_levels_.clear();
-  effective_levels_.clear();
-  peak_mbps_ = 5.0;
-  peak_fps_ = 30.0;
-  total_mbps_ = 0.0;
   return out;
 }
 

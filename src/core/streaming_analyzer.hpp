@@ -2,9 +2,11 @@
 //
 // RealtimePipeline's batch entry points suit offline evaluation; an
 // inline probe sees one packet at a time and wants to be told the moment
-// something becomes known. StreamingAnalyzer wraps the same models and
-// front-end behind a push(packet) interface and surfaces classification
-// milestones as typed events:
+// something becomes known. StreamingAnalyzer owns the pre-detection
+// front-end (flow table + detector + lookback buffer) and adapts one
+// core::SessionEngine — the same state machine every entry point drives —
+// to std::function callbacks, surfacing classification milestones as
+// typed events:
 //   kFlowDetected    — the cloud-gaming streaming flow was identified;
 //   kTitleClassified — the five-second title verdict (or "unknown");
 //   kStageChanged    — the player activity stage flipped;
@@ -17,43 +19,24 @@
 #include <functional>
 #include <optional>
 
-#include "core/pipeline.hpp"
-#include "core/qoe_estimator.hpp"
+#include "core/session_engine.hpp"
 #include "net/flow_table.hpp"
 
 namespace cgctx::core {
 
-enum class StreamEventType : std::uint8_t {
-  kFlowDetected,
-  kTitleClassified,
-  kStageChanged,
-  kPatternInferred,
-};
-
-const char* to_string(StreamEventType type);
-
-struct StreamEvent {
-  StreamEventType type = StreamEventType::kFlowDetected;
-  /// Seconds since the detected flow began.
-  double at_seconds = 0.0;
-  /// kFlowDetected: the detection result.
-  std::optional<DetectionResult> detection;
-  /// kTitleClassified: the verdict.
-  std::optional<TitleResult> title;
-  /// kStageChanged: the new stage label.
-  std::optional<ml::Label> stage;
-  /// kPatternInferred: the inference.
-  std::optional<PatternResult> pattern;
-};
-
 class StreamingAnalyzer {
  public:
-  using EventCallback = std::function<void(const StreamEvent&)>;
-  using SlotCallback = std::function<void(const SlotRecord&)>;
+  using EventCallback = SessionEventCallback;
+  using SlotCallback = SlotRecordCallback;
 
   /// Models must outlive the analyzer. Callbacks may be empty.
   StreamingAnalyzer(PipelineModels models, PipelineParams params,
                     EventCallback on_event, SlotCallback on_slot = {});
+
+  /// Non-copyable/movable: the engine references the analyzer-owned
+  /// params.
+  StreamingAnalyzer(const StreamingAnalyzer&) = delete;
+  StreamingAnalyzer& operator=(const StreamingAnalyzer&) = delete;
 
   /// Feeds one packet in arrival order. Packets of undetected flows feed
   /// the detector; once the gaming flow is identified, only its packets
@@ -66,14 +49,26 @@ class StreamingAnalyzer {
   SessionReport finish();
 
   [[nodiscard]] bool flow_detected() const { return detection_.has_value(); }
-  [[nodiscard]] bool title_classified() const { return title_done_; }
+  [[nodiscard]] bool title_classified() const {
+    return engine_.title_classified();
+  }
 
  private:
-  void analyze_packet(const net::PacketRecord& pkt);
-  void close_slot();
-  void emit(StreamEvent event);
+  /// Forwards engine milestones and slot records to the analyzer's
+  /// std::function callbacks (emptiness checked at dispatch; this adapter
+  /// path is not the probe hot path).
+  struct CallbackSink {
+    static constexpr bool kWantsEvents = true;
+    static constexpr bool kWantsSlots = true;
+    StreamingAnalyzer* self;
+    void on_stream_event(const StreamEvent& event) {
+      if (self->on_event_) self->on_event_(event);
+    }
+    void on_slot_record(const SlotRecord& record) {
+      if (self->on_slot_) self->on_slot_(record);
+    }
+  };
 
-  PipelineModels models_;
   PipelineParams params_;
   EventCallback on_event_;
   SlotCallback on_slot_;
@@ -86,34 +81,9 @@ class StreamingAnalyzer {
   /// detected flow's earliest packets still reach the title window.
   std::deque<net::PacketRecord> pre_buffer_;
 
-  // Title classification buffer (only the first N seconds are kept).
-  std::vector<net::PacketRecord> title_window_;
-  bool title_done_ = false;
-  TitleResult title_;
-
-  /// One probability scratch buffer reused by every stage classification
-  /// and pattern inference this analyzer performs (sized once for the
-  /// widest model; the compiled-forest path allocates nothing per slot).
-  std::vector<double> scratch_;
-  [[nodiscard]] std::span<double> scratch(std::size_t n);
-
-  // Slot machinery.
-  std::size_t next_slot_ = 0;
-  RawSlotVolumetrics current_slot_;
-  QoeEstimator qoe_{60.0};
-  VolumetricTracker tracker_;
-  TransitionTracker transitions_;
-  ml::Label last_stage_ = -1;
-  std::optional<PatternResult> pattern_;
-  double pattern_decided_at_s_ = -1.0;
-
-  // Accumulated report state.
-  SessionReport report_;
-  std::vector<QoeLevel> objective_levels_;
-  std::vector<QoeLevel> effective_levels_;
-  double peak_mbps_ = 5.0;
-  double peak_fps_ = 30.0;
-  double total_mbps_ = 0.0;
+  /// The shared per-session state machine (declared after params_, which
+  /// it references).
+  SessionEngine engine_;
 };
 
 }  // namespace cgctx::core

@@ -9,6 +9,13 @@ std::vector<std::string> volumetric_attribute_names() {
 }
 
 ml::FeatureRow VolumetricTracker::push(const RawSlotVolumetrics& slot) {
+  ml::FeatureRow out(kNumVolumetricAttributes);
+  push_into(slot, out);
+  return out;
+}
+
+void VolumetricTracker::push_into(const RawSlotVolumetrics& slot,
+                                  std::span<double> out) {
   const std::array<double, kNumVolumetricAttributes> raw{
       static_cast<double>(slot.down_bytes),
       static_cast<double>(slot.down_packets),
@@ -16,7 +23,6 @@ ml::FeatureRow VolumetricTracker::push(const RawSlotVolumetrics& slot) {
       static_cast<double>(slot.up_packets),
   };
 
-  ml::FeatureRow out(kNumVolumetricAttributes);
   for (std::size_t i = 0; i < kNumVolumetricAttributes; ++i) {
     double value = raw[i];
     if (params_.relative_to_peak) {
@@ -36,7 +42,6 @@ ml::FeatureRow VolumetricTracker::push(const RawSlotVolumetrics& slot) {
     out[i] = value;
   }
   ++slots_seen_;
-  return out;
 }
 
 void VolumetricTracker::reset() {

@@ -11,6 +11,7 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 
 #include "ml/dataset.hpp"
 
@@ -54,6 +55,10 @@ class VolumetricTracker {
   /// {down_throughput, down_pkt_rate, up_throughput, up_pkt_rate},
   /// peak-relative and EMA-smoothed.
   ml::FeatureRow push(const RawSlotVolumetrics& slot);
+
+  /// Allocation-free variant: writes the 4 attribute values into `out`,
+  /// whose size must be kNumVolumetricAttributes.
+  void push_into(const RawSlotVolumetrics& slot, std::span<double> out);
 
   /// Resets all state (new session).
   void reset();

@@ -5,6 +5,7 @@
 #include <algorithm>
 
 #include "core/model_suite.hpp"
+#include "core/streaming_analyzer.hpp"
 #include "probe_test_models.hpp"
 #include "sim/cross_traffic.hpp"
 

@@ -127,7 +127,18 @@ TEST(SessionLevel, TieResolvesTowardWorse) {
 }
 
 TEST(SessionLevel, EmptyIsBadByConvention) {
-  EXPECT_EQ(session_level({}), QoeLevel::kBad);
+  EXPECT_EQ(session_level(std::vector<QoeLevel>{}), QoeLevel::kBad);
+}
+
+TEST(SessionLevel, CountsOverloadMatchesVectorOverload) {
+  const std::vector<QoeLevel> levels{QoeLevel::kGood, QoeLevel::kGood,
+                                     QoeLevel::kMedium, QoeLevel::kBad,
+                                     QoeLevel::kMedium};
+  std::array<std::size_t, kNumQoeLevels> counts{};
+  for (QoeLevel level : levels) ++counts[static_cast<std::size_t>(level)];
+  EXPECT_EQ(session_level(counts), session_level(levels));
+  EXPECT_EQ(session_level(std::array<std::size_t, kNumQoeLevels>{}),
+            QoeLevel::kBad);
 }
 
 TEST(QoeLevel, Names) {
