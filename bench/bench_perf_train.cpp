@@ -1,0 +1,210 @@
+// Deterministic parallel training throughput (PERF-TRAIN).
+//
+// Builds the title-classification dataset from a Table 2 lab plan, then
+// fits the title classifier's Random Forest at 1/2/4/N worker threads
+// and times a (candidate x fold) grid search. Reports wall times and
+// speedups, and writes a machine-readable BENCH_TRAIN.json next to the
+// binary's working directory.
+//
+// Correctness gate (always enforced, including --smoke): every parallel
+// fit must serialize byte-identically to the single-thread fit and
+// report the same OOB score, and the parallel grid search must agree
+// with the serial one on every score and on the winner. Any divergence
+// exits non-zero — the determinism contract of DESIGN.md §9 is what
+// keeps the bench model cache and the paper tables reproducible.
+//
+// Scaling expectation: >= 3x forest-fit speedup at 4 threads vs 1 on a
+// host with >= 4 hardware threads (tree fits are embarrassingly parallel
+// once seeds are pre-drawn). On smaller hosts the workers time-slice, so
+// the bench prints the detected concurrency and flags under-provisioned
+// runs instead of pretending.
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/thread_pool.hpp"
+#include "core/title_classifier.hpp"
+#include "core/training.hpp"
+#include "ml/grid_search.hpp"
+#include "ml/random_forest.hpp"
+#include "sim/lab_dataset.hpp"
+
+using namespace cgctx;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point begin) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       begin)
+      .count();
+}
+
+struct FitRun {
+  std::size_t threads = 0;
+  double seconds = 0.0;
+  double speedup = 1.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // --smoke: a minimal-workload run for CI — smaller plan, fewer trees,
+  // thread counts {1, 2}. The bitwise-identity gates still run, so the
+  // job fails on determinism regressions, not just crashes.
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+
+  std::cout << "== PERF-TRAIN: deterministic parallel training ==\n";
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::cout << "hardware threads: " << hw << "\n";
+  if (smoke) std::cout << "mode: smoke (minimal workload; numbers are noise)\n";
+  if (hw < 4)
+    std::cout << "NOTE: < 4 hardware threads; training workers time-slice "
+                 "one core,\nso multi-thread speedups cannot materialize on "
+                 "this host.\n";
+
+  // Catalog-sized workload: the Table 2 lab plan rendered to the
+  // 51-attribute title dataset (the heaviest training input in the
+  // repro), fit with the production title-classifier forest parameters.
+  sim::LabPlanOptions plan_options;
+  plan_options.scale = smoke ? 0.05 : 0.35;
+  plan_options.gameplay_seconds = smoke ? 20.0 : 60.0;
+  core::TitleDatasetOptions dataset_options;
+  dataset_options.augment_copies = smoke ? 0 : 1;
+  const std::vector<sim::SessionSpec> plan = sim::lab_session_plan(plan_options);
+
+  const auto build_begin = std::chrono::steady_clock::now();
+  const ml::Dataset data = core::build_title_dataset(plan, dataset_options);
+  const double build_seconds = seconds_since(build_begin);
+  std::cout << "dataset: " << data.size() << " rows x " << data.num_features()
+            << " attributes, " << data.num_classes() << " classes ("
+            << std::fixed << std::setprecision(2) << build_seconds
+            << " s to build)\n\n";
+
+  ml::RandomForestParams forest_params = core::TitleClassifierParams{}.forest;
+  if (smoke) forest_params.n_trees = 60;
+  std::cout << "forest: " << forest_params.n_trees << " trees, depth "
+            << forest_params.max_depth << "\n";
+
+  // Forest fit at 1/2/4/N threads. The single-thread fit is the
+  // reference for both the speedup column and the bitwise gate.
+  std::vector<std::size_t> thread_counts = smoke
+                                               ? std::vector<std::size_t>{1, 2}
+                                               : std::vector<std::size_t>{1, 2, 4};
+  const std::size_t native = std::max<std::size_t>(1, hw);
+  if (!smoke && native > thread_counts.back()) thread_counts.push_back(native);
+
+  std::cout << std::setw(8) << "threads" << std::setw(12) << "fit_s"
+            << std::setw(10) << "speedup" << std::setw(12) << "identical"
+            << "\n";
+  std::string reference_model;
+  double reference_oob = 0.0;
+  double serial_seconds = 0.0;
+  bool identical = true;
+  std::vector<FitRun> fit_runs;
+  for (const std::size_t threads : thread_counts) {
+    core::ThreadPool pool(threads);
+    ml::RandomForest forest(forest_params);
+    const auto begin = std::chrono::steady_clock::now();
+    forest.fit(data, pool);
+    FitRun run;
+    run.threads = threads;
+    run.seconds = seconds_since(begin);
+    const std::string model = forest.serialize();
+    bool match = true;
+    if (threads == 1) {
+      serial_seconds = run.seconds;
+      reference_model = model;
+      reference_oob = forest.oob_score();
+    } else {
+      match = model == reference_model && forest.oob_score() == reference_oob;
+      identical = identical && match;
+    }
+    run.speedup = serial_seconds / run.seconds;
+    fit_runs.push_back(run);
+    std::cout << std::setw(8) << threads << std::setw(12)
+              << std::setprecision(2) << run.seconds << std::setw(9)
+              << run.speedup << "x" << std::setw(12)
+              << (match ? "yes" : "NO — DIVERGED") << "\n";
+  }
+  std::cout << "\n";
+
+  // Grid-search wall time: a small RF grid, (candidate x fold) tasks in
+  // flight at once. Serial pool first (reference), then the widest pool.
+  std::vector<ml::GridCandidate> grid;
+  for (const std::size_t trees : {forest_params.n_trees / 5,
+                                  forest_params.n_trees / 2}) {
+    for (const std::size_t depth : {std::size_t{6}, std::size_t{10}}) {
+      ml::RandomForestParams p = forest_params;
+      p.n_trees = trees;
+      p.max_depth = depth;
+      grid.push_back({std::to_string(trees) + "t/d" + std::to_string(depth),
+                      [p] { return std::make_unique<ml::RandomForest>(p); }});
+    }
+  }
+  const std::size_t folds = 3;
+  core::ThreadPool serial_pool(1);
+  ml::Rng grid_rng_serial(2026);
+  const auto grid_serial_begin = std::chrono::steady_clock::now();
+  const ml::GridSearchResult grid_serial = ml::grid_search(
+      grid, data, folds, grid_rng_serial, &serial_pool);
+  const double grid_serial_seconds = seconds_since(grid_serial_begin);
+
+  core::ThreadPool wide_pool(thread_counts.back());
+  ml::Rng grid_rng_parallel(2026);
+  const auto grid_parallel_begin = std::chrono::steady_clock::now();
+  const ml::GridSearchResult grid_parallel = ml::grid_search(
+      grid, data, folds, grid_rng_parallel, &wide_pool);
+  const double grid_parallel_seconds = seconds_since(grid_parallel_begin);
+
+  const bool grid_identical =
+      grid_serial.scores == grid_parallel.scores &&
+      grid_serial.best_index == grid_parallel.best_index;
+  identical = identical && grid_identical;
+  std::cout << "grid search (" << grid.size() << " candidates x " << folds
+            << " folds): " << std::setprecision(2) << grid_serial_seconds
+            << " s serial, " << grid_parallel_seconds << " s at "
+            << thread_counts.back() << " threads ("
+            << grid_serial_seconds / grid_parallel_seconds << "x), winner "
+            << grid[grid_parallel.best_index].name << ", identical: "
+            << (grid_identical ? "yes" : "NO — DIVERGED") << "\n";
+
+  std::ofstream json("BENCH_TRAIN.json");
+  json << "{\n"
+       << "  \"bench\": \"perf_train\",\n"
+       << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+       << "  \"hardware_threads\": " << hw << ",\n"
+       << "  \"dataset\": {\"rows\": " << data.size() << ", \"features\": "
+       << data.num_features() << ", \"classes\": " << data.num_classes()
+       << ", \"build_seconds\": " << build_seconds << "},\n"
+       << "  \"forest\": {\"trees\": " << forest_params.n_trees
+       << ", \"max_depth\": " << forest_params.max_depth << "},\n"
+       << "  \"fit\": [";
+  for (std::size_t i = 0; i < fit_runs.size(); ++i) {
+    if (i > 0) json << ", ";
+    json << "{\"threads\": " << fit_runs[i].threads << ", \"seconds\": "
+         << fit_runs[i].seconds << ", \"speedup\": " << fit_runs[i].speedup
+         << "}";
+  }
+  json << "],\n"
+       << "  \"grid_search\": {\"candidates\": " << grid.size()
+       << ", \"folds\": " << folds << ", \"serial_seconds\": "
+       << grid_serial_seconds << ", \"parallel_seconds\": "
+       << grid_parallel_seconds << "},\n"
+       << "  \"identical\": " << (identical ? "true" : "false") << "\n"
+       << "}\n";
+  std::cout << "wrote BENCH_TRAIN.json\n";
+
+  if (!identical) {
+    std::cout << "FAIL: parallel training diverged from the serial "
+                 "reference\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,227 @@
+// Fixed-size worker pool with a deterministic-by-construction parallel
+// loop, used by the training stack (forest fitting, grid search, dataset
+// rendering).
+//
+// Design rules that make "parallel == serial, bitwise" provable:
+//   * parallel_for / parallel_chunks only ever hand a worker a disjoint
+//     index range; every call site writes results into pre-sized
+//     per-index slots and performs any floating-point *reduction*
+//     serially afterwards, in fixed index order. The pool itself never
+//     reorders arithmetic.
+//   * All randomness is pre-drawn serially by the caller before the
+//     parallel region (see RandomForest::fit).
+//
+// Header-only on purpose: cgctx_ml sits *below* cgctx_core in the link
+// order (core links ml), yet the forest trainer needs the pool. An
+// inline header keeps the dependency include-only with no link cycle.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cgctx::core {
+
+/// A fixed set of worker threads plus the calling thread, cooperating on
+/// one chunked index range at a time.
+///
+/// * `size()` is the total parallelism: helper threads + the caller,
+///   which always participates in the loop. `ThreadPool(1)` owns no
+///   threads at all and runs every loop inline — the serial baseline is
+///   the same code path, not a separate implementation.
+/// * The worker count is fixed at construction; the process-wide
+///   training pool (`ThreadPool::training()`) is sized from
+///   `CGCTX_TRAIN_THREADS` when set (>= 1), else
+///   `std::thread::hardware_concurrency()`.
+/// * Exceptions thrown by the loop body are caught, the range is
+///   cancelled best-effort, and the *first* exception is rethrown on the
+///   calling thread once every worker has left the loop.
+/// * Nested use is legal and documented: a parallel_for issued from
+///   inside one of this pool's own workers (e.g. a forest fit inside a
+///   grid-search task) runs the whole range inline on that worker.
+///   Nothing deadlocks, and determinism is unaffected because call sites
+///   never depend on which thread runs which index.
+/// * One loop at a time per pool: concurrent parallel_for calls from
+///   *different external* threads serialize on an internal mutex.
+class ThreadPool {
+ public:
+  /// `threads` is the total parallelism (helpers + caller); 0 means
+  /// default_threads().
+  explicit ThreadPool(std::size_t threads = 0) {
+    if (threads == 0) threads = default_threads();
+    helpers_.reserve(threads - 1);
+    for (std::size_t t = 0; t + 1 < threads; ++t)
+      helpers_.emplace_back([this] { worker_loop(); });
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& helper : helpers_) helper.join();
+  }
+
+  /// Total parallelism of this pool (helper threads + calling thread).
+  [[nodiscard]] std::size_t size() const { return helpers_.size() + 1; }
+
+  /// Runs `fn(chunk_begin, chunk_end)` over [begin, end) split into
+  /// chunks of at most `grain` indices. Chunks are claimed dynamically
+  /// (load-balanced); a chunk's indices are always contiguous and
+  /// processed by exactly one thread. Blocks until the whole range is
+  /// done; rethrows the first body exception. A range of at most one
+  /// chunk — and any nested call — runs inline on the caller.
+  template <typename Fn>
+  void parallel_chunks(std::size_t begin, std::size_t end, std::size_t grain,
+                       Fn&& fn) {
+    if (begin >= end) return;
+    grain = std::max<std::size_t>(1, grain);
+    if (helpers_.empty() || end - begin <= grain || active_pool_ == this) {
+      fn(begin, end);
+      return;
+    }
+    const std::lock_guard<std::mutex> run_lock(run_mutex_);
+
+    Task task;
+    task.end = end;
+    task.grain = grain;
+    task.next.store(begin, std::memory_order_relaxed);
+    auto run = [&fn](std::size_t chunk_begin, std::size_t chunk_end) {
+      fn(chunk_begin, chunk_end);
+    };
+    task.run = run;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      task.pending = helpers_.size();
+      task_ = &task;
+      ++generation_;
+    }
+    work_cv_.notify_all();
+
+    active_pool_ = this;
+    drain(task);
+    active_pool_ = nullptr;
+
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      done_cv_.wait(lock, [&task] { return task.pending == 0; });
+      task_ = nullptr;
+    }
+    if (task.error) std::rethrow_exception(task.error);
+  }
+
+  /// Runs `fn(i)` for every i in [begin, end), chunked automatically
+  /// (~8 chunks per thread so dynamic claiming load-balances uneven
+  /// work). Same blocking / exception / nesting semantics as
+  /// parallel_chunks.
+  template <typename Fn>
+  void parallel_for(std::size_t begin, std::size_t end, Fn&& fn) {
+    if (begin >= end) return;
+    const std::size_t grain =
+        std::max<std::size_t>(1, (end - begin) / (size() * 8));
+    parallel_chunks(begin, end, grain,
+                    [&fn](std::size_t chunk_begin, std::size_t chunk_end) {
+                      for (std::size_t i = chunk_begin; i < chunk_end; ++i)
+                        fn(i);
+                    });
+  }
+
+  /// True when the current thread is executing inside a parallel region
+  /// of this pool (used by the inline-nesting rule; exposed for tests).
+  [[nodiscard]] bool in_parallel_region() const {
+    return active_pool_ == this;
+  }
+
+  /// Worker count the training pool uses: CGCTX_TRAIN_THREADS when set
+  /// to a positive integer, else hardware_concurrency (at least 1).
+  static std::size_t default_threads() {
+    if (const char* env = std::getenv("CGCTX_TRAIN_THREADS")) {
+      const long parsed = std::strtol(env, nullptr, 10);
+      if (parsed >= 1)
+        return std::min<std::size_t>(static_cast<std::size_t>(parsed), 1024);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+  }
+
+  /// The process-wide pool every training path uses by default. Created
+  /// on first use with default_threads() workers; lives for the process.
+  static ThreadPool& training() {
+    static ThreadPool pool;
+    return pool;
+  }
+
+ private:
+  /// One parallel_chunks invocation. Stack-allocated by the caller; the
+  /// caller does not return until every helper is done with it.
+  struct Task {
+    std::size_t end = 0;
+    std::size_t grain = 1;
+    std::atomic<std::size_t> next{0};
+    std::function<void(std::size_t, std::size_t)> run;
+    std::size_t pending = 0;  // helpers still inside; guarded by mutex_
+    std::exception_ptr error;
+    std::mutex error_mutex;
+  };
+
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+      work_cv_.wait(lock, [this, seen] {
+        return stop_ || (task_ != nullptr && generation_ != seen);
+      });
+      if (stop_) return;
+      seen = generation_;
+      Task& task = *task_;
+      lock.unlock();
+      active_pool_ = this;
+      drain(task);
+      active_pool_ = nullptr;
+      lock.lock();
+      if (--task.pending == 0) done_cv_.notify_all();
+    }
+  }
+
+  /// Claims and runs chunks until the range is exhausted. On a body
+  /// exception, records the first one and cancels remaining chunks.
+  static void drain(Task& task) {
+    for (;;) {
+      const std::size_t chunk_begin =
+          task.next.fetch_add(task.grain, std::memory_order_relaxed);
+      if (chunk_begin >= task.end) return;
+      const std::size_t chunk_end =
+          std::min(chunk_begin + task.grain, task.end);
+      try {
+        task.run(chunk_begin, chunk_end);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(task.error_mutex);
+        if (!task.error) task.error = std::current_exception();
+        task.next.store(task.end, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  inline static thread_local const ThreadPool* active_pool_ = nullptr;
+
+  std::mutex run_mutex_;  // serializes external parallel_chunks callers
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  Task* task_ = nullptr;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> helpers_;
+};
+
+}  // namespace cgctx::core

@@ -21,52 +21,85 @@ void for_each_rendered_session(
 
 namespace {
 
-/// Expands specs with augmentation copies and renders each, passing the
-/// session and its title label to `fn`.
-void for_each_title_example(
-    std::span<const sim::SessionSpec> specs, const TitleDatasetOptions& options,
-    const std::function<void(const sim::LabeledSession&, ml::Label)>& fn) {
-  const sim::SessionGenerator generator;
+ThreadPool& resolve(ThreadPool* pool) {
+  return pool != nullptr ? *pool : ThreadPool::training();
+}
+
+struct TitleExample {
+  sim::SessionSpec spec;
+  ml::Label label;
+};
+
+/// Serial expansion of specs with their augmentation copies, drawing the
+/// per-spec augmentation seeds in the order the serial builder did.
+std::vector<TitleExample> expand_title_examples(
+    std::span<const sim::SessionSpec> specs,
+    const TitleDatasetOptions& options) {
   ml::Rng aug_rng(options.augment_seed);
+  std::vector<TitleExample> out;
+  out.reserve(specs.size() * (1 + options.augment_copies));
   for (const sim::SessionSpec& spec : specs) {
     const auto title_index = static_cast<std::size_t>(spec.title);
     if (title_index >= sim::kNumPopularTitles)
       throw std::invalid_argument(
           "title dataset: spec references a non-popular title");
     const auto label = static_cast<ml::Label>(title_index);
-    fn(generator.generate(spec), label);
+    out.push_back({spec, label});
     for (const sim::SessionSpec& variant :
          sim::augment(spec, options.augment_copies, aug_rng.next_u64()))
-      fn(generator.generate(variant), label);
+      out.push_back({variant, label});
   }
+  return out;
+}
+
+/// Renders every (possibly augmented) example in parallel, extracting
+/// one feature row per session into its slot; rows are appended to the
+/// dataset in expansion order, so the result is identical at any worker
+/// count. Sessions are rendered inside the tasks and never all held in
+/// memory at once.
+template <typename Extract>
+ml::Dataset build_title_rows(std::span<const sim::SessionSpec> specs,
+                             const TitleDatasetOptions& options,
+                             ThreadPool* pool,
+                             std::vector<std::string> feature_names,
+                             Extract&& extract) {
+  const std::vector<TitleExample> examples =
+      expand_title_examples(specs, options);
+  const sim::SessionGenerator generator;
+  std::vector<ml::FeatureRow> rows(examples.size());
+  resolve(pool).parallel_for(0, examples.size(), [&](std::size_t i) {
+    rows[i] = extract(generator.generate(examples[i].spec));
+  });
+  ml::Dataset data(std::move(feature_names), popular_title_class_names());
+  for (std::size_t i = 0; i < examples.size(); ++i)
+    data.add(std::move(rows[i]), examples[i].label);
+  return data;
 }
 
 }  // namespace
 
 ml::Dataset build_title_dataset(std::span<const sim::SessionSpec> specs,
-                                const TitleDatasetOptions& options) {
-  ml::Dataset data(launch_attribute_names(), popular_title_class_names());
-  for_each_title_example(
-      specs, options, [&](const sim::LabeledSession& session, ml::Label label) {
-        data.add(launch_attributes(session.packets, session.launch_begin,
-                                   options.attributes),
-                 label);
+                                const TitleDatasetOptions& options,
+                                ThreadPool* pool) {
+  return build_title_rows(
+      specs, options, pool, launch_attribute_names(),
+      [&options](const sim::LabeledSession& session) {
+        return launch_attributes(session.packets, session.launch_begin,
+                                 options.attributes);
       });
-  return data;
 }
 
 ml::Dataset build_flow_volumetric_dataset(
-    std::span<const sim::SessionSpec> specs,
-    const TitleDatasetOptions& options) {
-  ml::Dataset data(flow_volumetric_attribute_names(options.attributes),
-                   popular_title_class_names());
-  for_each_title_example(
-      specs, options, [&](const sim::LabeledSession& session, ml::Label label) {
-        data.add(flow_volumetric_attributes(
-                     session.packets, session.launch_begin, options.attributes),
-                 label);
+    std::span<const sim::SessionSpec> specs, const TitleDatasetOptions& options,
+    ThreadPool* pool) {
+  return build_title_rows(
+      specs, options, pool,
+      flow_volumetric_attribute_names(options.attributes),
+      [&options](const sim::LabeledSession& session) {
+        return flow_volumetric_attributes(session.packets,
+                                          session.launch_begin,
+                                          options.attributes);
       });
-  return data;
 }
 
 std::vector<RawSlotVolumetrics> aggregate_slots(
@@ -145,24 +178,30 @@ std::vector<StageRow> stage_rows_from_packets(
 }
 
 ml::Dataset build_stage_dataset(std::span<const sim::SessionSpec> specs,
-                                const VolumetricTrackerParams& tracker_params) {
-  ml::Dataset data(volumetric_attribute_names(), stage_class_names());
+                                const VolumetricTrackerParams& tracker_params,
+                                ThreadPool* pool) {
   const sim::SessionGenerator generator;
-  for (const sim::SessionSpec& spec : specs) {
-    const sim::LabeledSession session = generator.generate_slots_only(spec);
-    for (StageRow& row : stage_rows_from_slots(session, tracker_params))
-      data.add(std::move(row.attributes), row.stage);
-  }
+  std::vector<std::vector<StageRow>> buckets(specs.size());
+  resolve(pool).parallel_for(0, specs.size(), [&](std::size_t i) {
+    buckets[i] = stage_rows_from_slots(generator.generate_slots_only(specs[i]),
+                                       tracker_params);
+  });
+  ml::Dataset data(volumetric_attribute_names(), stage_class_names());
+  for (std::vector<StageRow>& bucket : buckets)
+    for (StageRow& row : bucket) data.add(std::move(row.attributes), row.stage);
   return data;
 }
 
 ml::Dataset build_pattern_dataset(std::span<const sim::SessionSpec> specs,
                                   const StageClassifier& stages,
                                   const VolumetricTrackerParams& tracker_params,
-                                  bool include_prefix_horizons) {
-  ml::Dataset data(transition_attribute_names(), pattern_class_names());
+                                  bool include_prefix_horizons,
+                                  ThreadPool* pool) {
   const sim::SessionGenerator generator;
-  for (const sim::SessionSpec& spec : specs) {
+  std::vector<std::vector<ml::FeatureRow>> buckets(specs.size());
+  std::vector<ml::Label> labels(specs.size());
+  resolve(pool).parallel_for(0, specs.size(), [&](std::size_t i) {
+    const sim::SessionSpec& spec = specs[i];
     const sim::LabeledSession session = generator.generate_slots_only(spec);
     // Mirror the deployment pipeline exactly: every slot (launch included)
     // is classified and fed to the transition tracker, so the training
@@ -174,7 +213,7 @@ ml::Dataset build_pattern_dataset(std::span<const sim::SessionSpec> specs,
     VolumetricTracker tracker(tracker_params);
     TransitionTracker transitions;
     const auto pattern = sim::info(spec.title).pattern;
-    const ml::Label label =
+    labels[i] =
         pattern == sim::ActivityPattern::kContinuousPlay ? kPatternContinuous
                                                          : kPatternSpectate;
     const std::size_t total = session.slots.size();
@@ -205,13 +244,16 @@ ml::Dataset build_pattern_dataset(std::span<const sim::SessionSpec> specs,
         // final-only mode); emit each distinct horizon once.
         if (transitions.transition_count() > 0 &&
             s + 1 != last_emitted_checkpoint) {
-          data.add(transitions.probabilities(), label);
+          buckets[i].push_back(transitions.probabilities());
           last_emitted_checkpoint = s + 1;
         }
         ++next_checkpoint_index;
       }
     }
-  }
+  });
+  ml::Dataset data(transition_attribute_names(), pattern_class_names());
+  for (std::size_t i = 0; i < buckets.size(); ++i)
+    for (ml::FeatureRow& row : buckets[i]) data.add(std::move(row), labels[i]);
   return data;
 }
 

@@ -8,6 +8,7 @@
 
 #include "core/launch_attributes.hpp"
 #include "core/stage_classifier.hpp"
+#include "core/thread_pool.hpp"
 #include "core/transition_model.hpp"
 #include "core/volumetric_tracker.hpp"
 #include "sim/lab_dataset.hpp"
@@ -36,15 +37,20 @@ struct TitleDatasetOptions {
 
 /// Builds the 51-attribute title-classification dataset from session
 /// specs (labels = popular-title indices; specs must reference popular
-/// titles only).
+/// titles only). Sessions render and featurize in parallel on `pool`
+/// (nullptr: the shared training pool); augmentation seeds are drawn
+/// serially up front and rows land in spec order, so the dataset is
+/// identical at any worker count.
 ml::Dataset build_title_dataset(std::span<const sim::SessionSpec> specs,
-                                const TitleDatasetOptions& options = {});
+                                const TitleDatasetOptions& options = {},
+                                ThreadPool* pool = nullptr);
 
 /// Builds the Table 3 baseline dataset (per-slot downstream packet rate
-/// and throughput) from the same specs.
+/// and throughput) from the same specs. Parallel like
+/// build_title_dataset.
 ml::Dataset build_flow_volumetric_dataset(
     std::span<const sim::SessionSpec> specs,
-    const TitleDatasetOptions& options = {});
+    const TitleDatasetOptions& options = {}, ThreadPool* pool = nullptr);
 
 /// Aggregates a packet stream into consecutive I-second raw volumetric
 /// slots starting at `begin`.
@@ -72,9 +78,12 @@ std::vector<StageRow> stage_rows_from_packets(
     const VolumetricTrackerParams& tracker_params = {});
 
 /// Builds the 4-attribute stage dataset from slot-fidelity sessions.
+/// Sessions render in parallel on `pool` (nullptr: the shared training
+/// pool); rows land in spec order, identical at any worker count.
 ml::Dataset build_stage_dataset(
     std::span<const sim::SessionSpec> specs,
-    const VolumetricTrackerParams& tracker_params = {});
+    const VolumetricTrackerParams& tracker_params = {},
+    ThreadPool* pool = nullptr);
 
 /// Builds the 9-attribute pattern-inference dataset: each session is run
 /// through the (trained) stage classifier, its transition probabilities
@@ -84,9 +93,12 @@ ml::Dataset build_stage_dataset(
 /// several mid-session horizons so the inferrer learns what immature
 /// matrices look like; without it, one complete-session row per session
 /// (the shape the paper's offline evaluation uses).
+/// Sessions render and classify in parallel on `pool` (nullptr: the
+/// shared training pool); rows land in spec order, identical at any
+/// worker count.
 ml::Dataset build_pattern_dataset(
     std::span<const sim::SessionSpec> specs, const StageClassifier& stages,
     const VolumetricTrackerParams& tracker_params = {},
-    bool include_prefix_horizons = true);
+    bool include_prefix_horizons = true, ThreadPool* pool = nullptr);
 
 }  // namespace cgctx::core

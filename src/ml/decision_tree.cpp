@@ -37,22 +37,33 @@ void DecisionTree::fit(const Dataset& train) {
 
 void DecisionTree::fit_on(const Dataset& train,
                           const std::vector<std::size_t>& indices) {
+  FitScratch scratch;
+  fit_on(train, indices, scratch);
+}
+
+void DecisionTree::fit_on(const Dataset& train,
+                          const std::vector<std::size_t>& indices,
+                          FitScratch& scratch) {
   if (train.empty() || indices.empty())
     throw std::invalid_argument("DecisionTree::fit: empty training set");
   nodes_.clear();
   num_classes_ = train.num_classes();
   num_features_ = train.num_features();
-  std::vector<std::size_t> work = indices;
+  scratch.work = indices;
   Rng rng(params_.seed);
-  build(train, work, 0, work.size(), 0, rng);
+  build(train, scratch, 0, scratch.work.size(), 0, rng);
 }
 
-std::int32_t DecisionTree::build(const Dataset& train,
-                                 std::vector<std::size_t>& indices,
+std::int32_t DecisionTree::build(const Dataset& train, FitScratch& scratch,
                                  std::size_t begin, std::size_t end,
                                  std::size_t depth, Rng& rng) {
+  // All scratch buffers are live only until the child recursion at the
+  // bottom: children overwrite them freely because a node never reads
+  // its histograms or sorted column after choosing its split.
   const std::size_t n = end - begin;
-  std::vector<double> counts(num_classes_, 0.0);
+  std::vector<std::size_t>& indices = scratch.work;
+  std::vector<double>& counts = scratch.counts;
+  counts.assign(num_classes_, 0.0);
   for (std::size_t i = begin; i < end; ++i)
     counts[static_cast<std::size_t>(train.label(indices[i]))] += 1.0;
   const double total = static_cast<double>(n);
@@ -71,20 +82,28 @@ std::int32_t DecisionTree::build(const Dataset& train,
   if (depth_capped || n < params_.min_samples_split || node_gini == 0.0)
     return make_leaf();
 
-  // Choose the candidate feature set for this split.
-  std::vector<std::size_t> features(num_features_);
+  // Choose the candidate feature set for this split. The shuffle always
+  // covers the full feature vector (its RNG draws depend on the size),
+  // and subsampling takes the first max_features entries — the same
+  // candidates the shuffle-then-truncate form produced.
+  std::vector<std::size_t>& features = scratch.features;
+  features.resize(num_features_);
   std::iota(features.begin(), features.end(), std::size_t{0});
+  std::size_t candidate_count = num_features_;
   if (params_.max_features > 0 && params_.max_features < num_features_) {
     shuffle(features, rng);
-    features.resize(params_.max_features);
+    candidate_count = params_.max_features;
   }
 
   // Scan candidate thresholds per feature: sort (value, label) pairs once,
   // then sweep maintaining left-side class counts.
   BestSplit best;
-  std::vector<std::pair<double, Label>> column(n);
-  std::vector<double> left_counts(num_classes_);
-  for (std::size_t f : features) {
+  std::vector<std::pair<double, Label>>& column = scratch.column;
+  column.resize(n);
+  std::vector<double>& left_counts = scratch.left_counts;
+  left_counts.resize(num_classes_);
+  for (std::size_t fi = 0; fi < candidate_count; ++fi) {
+    const std::size_t f = features[fi];
     for (std::size_t i = 0; i < n; ++i) {
       const std::size_t row = indices[begin + i];
       column[i] = {train.row(row)[f], train.label(row)};
@@ -137,8 +156,8 @@ std::int32_t DecisionTree::build(const Dataset& train,
 
   const std::int32_t node_index = static_cast<std::int32_t>(nodes_.size());
   nodes_.emplace_back();  // placeholder; children may reallocate the vector
-  const std::int32_t left = build(train, indices, begin, mid, depth + 1, rng);
-  const std::int32_t right = build(train, indices, mid, end, depth + 1, rng);
+  const std::int32_t left = build(train, scratch, begin, mid, depth + 1, rng);
+  const std::int32_t right = build(train, scratch, mid, end, depth + 1, rng);
   Node& node = nodes_[static_cast<std::size_t>(node_index)];
   node.feature = best.feature;
   node.threshold = best.threshold;

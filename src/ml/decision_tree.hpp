@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "ml/classifier.hpp"
@@ -41,6 +42,20 @@ class DecisionTree final : public Classifier {
     [[nodiscard]] bool is_leaf() const { return right == 0; }
   };
 
+  /// Reusable working buffers for one fit. The node recursion hoists all
+  /// of its per-node heap state here (class histograms, the candidate
+  /// feature order, the sorted split-scan column, the mutable index
+  /// copy), so building a tree allocates only the output nodes once the
+  /// scratch is warm. RandomForest keeps one per worker and reuses it
+  /// across the trees that worker fits.
+  struct FitScratch {
+    std::vector<std::size_t> work;
+    std::vector<double> counts;
+    std::vector<double> left_counts;
+    std::vector<std::size_t> features;
+    std::vector<std::pair<double, Label>> column;
+  };
+
   explicit DecisionTree(DecisionTreeParams params = {}) : params_(params) {}
 
   void fit(const Dataset& train) override;
@@ -48,6 +63,11 @@ class DecisionTree final : public Classifier {
   /// Trains on a subset of rows (used for bootstrap samples). Indices may
   /// repeat. The dataset supplies widths and class count.
   void fit_on(const Dataset& train, const std::vector<std::size_t>& indices);
+
+  /// As above, building through caller-owned scratch (reused across
+  /// fits). The fitted tree is identical; only allocations differ.
+  void fit_on(const Dataset& train, const std::vector<std::size_t>& indices,
+              FitScratch& scratch);
 
   [[nodiscard]] Label predict(const FeatureRow& row) const override;
   [[nodiscard]] ClassProbabilities predict_proba(
@@ -76,7 +96,7 @@ class DecisionTree final : public Classifier {
   static DecisionTree deserialize_from(std::istream& is);
 
  private:
-  std::int32_t build(const Dataset& train, std::vector<std::size_t>& indices,
+  std::int32_t build(const Dataset& train, FitScratch& scratch,
                      std::size_t begin, std::size_t end, std::size_t depth,
                      Rng& rng);
   [[nodiscard]] const Node& descend(const FeatureRow& row) const;

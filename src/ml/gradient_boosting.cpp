@@ -5,6 +5,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "core/thread_pool.hpp"
 #include "ml/rng.hpp"
 
 namespace cgctx::ml {
@@ -194,24 +195,31 @@ void GradientBoosting::fit(const Dataset& train) {
                                       static_cast<double>(n))));
     }
 
+    // The boosting sequence is inherently serial (each round's residuals
+    // depend on the previous round's scores), but the per-row scans
+    // inside it are elementwise and parallelize without changing a bit:
+    // every row's residual and score update is a pure function of that
+    // row's state.
+    core::ThreadPool& pool = core::ThreadPool::training();
     std::vector<RegressionTree> klass_trees(k);
     for (std::size_t c = 0; c < k; ++c) {
       // Residual = y_ic - p_ic under the current softmax.
-      for (std::size_t i = 0; i < n; ++i) {
+      pool.parallel_for(0, n, [&](std::size_t i) {
         const auto& s = scores[i];
         const double max_s = *std::max_element(s.begin(), s.end());
         double total = 0.0;
         for (double v : s) total += std::exp(v - max_s);
         const double p = std::exp(s[c] - max_s) / total;
         residual[i] = (train.label(i) == static_cast<Label>(c) ? 1.0 : 0.0) - p;
-      }
+      });
       std::vector<std::size_t> work = rows;
       klass_trees[c].fit(train.rows(), residual, work, params_.max_depth,
                          params_.min_samples_leaf, static_cast<double>(k));
       // Update scores for ALL rows (not just the subsample).
-      for (std::size_t i = 0; i < n; ++i)
-        scores[i][c] +=
-            params_.learning_rate * klass_trees[c].predict(train.row(i));
+      const RegressionTree& tree = klass_trees[c];
+      pool.parallel_for(0, n, [&](std::size_t i) {
+        scores[i][c] += params_.learning_rate * tree.predict(train.row(i));
+      });
     }
     impl_->rounds.push_back(std::move(klass_trees));
   }

@@ -3,48 +3,103 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "core/thread_pool.hpp"
+
 namespace cgctx::ml {
 
 namespace {
 
-double kfold_accuracy(const GridCandidate& candidate, const Dataset& data,
-                      const std::vector<std::vector<std::size_t>>& folds) {
+/// Train/test datasets for one fold, materialized once and shared
+/// read-only by every (candidate, fold) task.
+struct FoldData {
+  Dataset train;
+  Dataset test;
+};
+
+std::vector<FoldData> materialize_folds(
+    const Dataset& data, const std::vector<std::vector<std::size_t>>& folds) {
+  std::vector<FoldData> out(folds.size());
+  std::vector<std::size_t> train_idx;
+  for (std::size_t f = 0; f < folds.size(); ++f) {
+    train_idx.clear();
+    for (std::size_t g = 0; g < folds.size(); ++g)
+      if (g != f)
+        train_idx.insert(train_idx.end(), folds[g].begin(), folds[g].end());
+    out[f].train = data.subset(train_idx);
+    out[f].test = data.subset(folds[f]);
+  }
+  return out;
+}
+
+/// One task's contribution to a candidate's CV score.
+struct FoldOutcome {
+  double weighted_correct = 0.0;
+  double rows = 0.0;
+};
+
+FoldOutcome evaluate_fold(const GridCandidate& candidate,
+                          const FoldData& fold) {
+  if (fold.train.empty() || fold.test.empty()) return {};
+  ClassifierPtr model = candidate.make();
+  model->fit(fold.train);
+  const auto rows = static_cast<double>(fold.test.size());
+  return {model->score(fold.test) * rows, rows};
+}
+
+/// Sums fold outcomes in ascending fold order — the exact addition order
+/// of the serial loop, so parallel scores are bitwise-identical.
+double reduce_folds(const FoldOutcome* outcomes, std::size_t fold_count) {
   double total_correct = 0.0;
   double total_rows = 0.0;
-  for (std::size_t f = 0; f < folds.size(); ++f) {
-    std::vector<std::size_t> train_idx;
-    for (std::size_t g = 0; g < folds.size(); ++g)
-      if (g != f) train_idx.insert(train_idx.end(), folds[g].begin(),
-                                   folds[g].end());
-    const Dataset train = data.subset(train_idx);
-    const Dataset test = data.subset(folds[f]);
-    if (train.empty() || test.empty()) continue;
-    ClassifierPtr model = candidate.make();
-    model->fit(train);
-    total_correct += model->score(test) * static_cast<double>(test.size());
-    total_rows += static_cast<double>(test.size());
+  for (std::size_t f = 0; f < fold_count; ++f) {
+    total_correct += outcomes[f].weighted_correct;
+    total_rows += outcomes[f].rows;
   }
   return total_rows == 0.0 ? 0.0 : total_correct / total_rows;
+}
+
+core::ThreadPool& resolve(core::ThreadPool* pool) {
+  return pool != nullptr ? *pool : core::ThreadPool::training();
 }
 
 }  // namespace
 
 double cross_val_score(const GridCandidate& candidate, const Dataset& data,
-                       std::size_t k_folds, Rng& rng) {
+                       std::size_t k_folds, Rng& rng, core::ThreadPool* pool) {
   const auto folds = stratified_kfold(data, k_folds, rng);
-  return kfold_accuracy(candidate, data, folds);
+  const auto fold_data = materialize_folds(data, folds);
+  std::vector<FoldOutcome> outcomes(fold_data.size());
+  resolve(pool).parallel_for(0, fold_data.size(), [&](std::size_t f) {
+    outcomes[f] = evaluate_fold(candidate, fold_data[f]);
+  });
+  return reduce_folds(outcomes.data(), outcomes.size());
 }
 
 GridSearchResult grid_search(const std::vector<GridCandidate>& grid,
                              const Dataset& data, std::size_t k_folds,
-                             Rng& rng) {
+                             Rng& rng, core::ThreadPool* pool) {
   if (grid.empty()) throw std::invalid_argument("grid_search: empty grid");
   // One shared fold assignment keeps candidate scores comparable.
   const auto folds = stratified_kfold(data, k_folds, rng);
+  const auto fold_data = materialize_folds(data, folds);
+  const std::size_t fold_count = fold_data.size();
+
+  // Flatten to (candidate x fold) tasks: each trains one model and
+  // writes its own slot. A model fit that itself uses the pool (e.g. a
+  // RandomForest candidate) runs inline on the task's worker — nested
+  // parallelism neither deadlocks nor changes any result.
+  std::vector<FoldOutcome> outcomes(grid.size() * fold_count);
+  resolve(pool).parallel_for(0, outcomes.size(), [&](std::size_t task) {
+    const std::size_t c = task / fold_count;
+    const std::size_t f = task % fold_count;
+    outcomes[task] = evaluate_fold(grid[c], fold_data[f]);
+  });
+
   GridSearchResult result;
   result.scores.reserve(grid.size());
-  for (const GridCandidate& candidate : grid)
-    result.scores.push_back(kfold_accuracy(candidate, data, folds));
+  for (std::size_t c = 0; c < grid.size(); ++c)
+    result.scores.push_back(
+        reduce_folds(outcomes.data() + c * fold_count, fold_count));
   result.best_index = static_cast<std::size_t>(
       std::max_element(result.scores.begin(), result.scores.end()) -
       result.scores.begin());

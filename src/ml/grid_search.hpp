@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "core/thread_pool.hpp"
 #include "ml/classifier.hpp"
 #include "ml/dataset.hpp"
 #include "ml/rng.hpp"
@@ -18,14 +19,20 @@ namespace cgctx::ml {
 
 /// One point of the hyperparameter grid: a label for reports plus a
 /// factory building a fresh, unfitted classifier with those parameters.
+/// Factories are invoked concurrently from pool workers and must be
+/// safe to call from several threads at once (stateless captures are).
 struct GridCandidate {
   std::string name;
   std::function<ClassifierPtr()> make;
 };
 
 /// Mean k-fold cross-validation accuracy of one candidate on `data`.
+/// Folds evaluate in parallel on `pool` (nullptr: the shared training
+/// pool); scores are bitwise-identical at any worker count because the
+/// per-fold contributions are summed serially in fold order.
 double cross_val_score(const GridCandidate& candidate, const Dataset& data,
-                       std::size_t k_folds, Rng& rng);
+                       std::size_t k_folds, Rng& rng,
+                       core::ThreadPool* pool = nullptr);
 
 struct GridSearchResult {
   /// Mean CV accuracy per candidate, same order as the input grid.
@@ -35,10 +42,12 @@ struct GridSearchResult {
 };
 
 /// Evaluates every candidate with stratified k-fold CV. All candidates see
-/// identical folds (the RNG is re-seeded per candidate from a fork), so
-/// scores are comparable.
+/// identical folds (drawn once before any training), so scores are
+/// comparable. The (candidate x fold) grid evaluates in parallel on
+/// `pool` (nullptr: the shared training pool); scores and best_index are
+/// bitwise-identical at any worker count.
 GridSearchResult grid_search(const std::vector<GridCandidate>& grid,
                              const Dataset& data, std::size_t k_folds,
-                             Rng& rng);
+                             Rng& rng, core::ThreadPool* pool = nullptr);
 
 }  // namespace cgctx::ml

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "core/thread_pool.hpp"
 #include "ml/classifier.hpp"
 #include "ml/decision_tree.hpp"
 
@@ -33,7 +34,15 @@ class RandomForest final : public Classifier {
  public:
   explicit RandomForest(RandomForestParams params = {}) : params_(params) {}
 
+  /// Fits on the process-wide training pool (core::ThreadPool::training).
   void fit(const Dataset& train) override;
+  /// Fits trees on `pool`. Deterministic at any worker count: every
+  /// per-tree bootstrap sample and tree seed is pre-drawn serially from
+  /// the forest RNG in the exact stream order the serial loop used, trees
+  /// fit into pre-sized slots, and OOB votes accumulate per row in fixed
+  /// tree order — the serialized model and oob_score() are byte-identical
+  /// whether `pool` has 1 worker or 64.
+  void fit(const Dataset& train, core::ThreadPool& pool);
   [[nodiscard]] Label predict(const FeatureRow& row) const override;
   [[nodiscard]] ClassProbabilities predict_proba(
       const FeatureRow& row) const override;

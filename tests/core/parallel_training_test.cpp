@@ -1,0 +1,181 @@
+// Determinism contract of the parallel training stack (DESIGN.md §9):
+// every dataset builder, forest fit, and grid search must produce
+// byte-identical output at any worker count.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "core/stage_classifier.hpp"
+#include "core/thread_pool.hpp"
+#include "core/title_classifier.hpp"
+#include "core/training.hpp"
+#include "ml/grid_search.hpp"
+#include "ml/knn.hpp"
+#include "ml/random_forest.hpp"
+#include "sim/lab_dataset.hpp"
+
+namespace cgctx::core {
+namespace {
+
+const std::vector<std::size_t> kThreadCounts = {1, 2, 4};
+
+std::vector<sim::SessionSpec> tiny_plan(double gameplay_seconds,
+                                        std::uint64_t seed,
+                                        double scale = 0.03) {
+  sim::LabPlanOptions plan;
+  plan.scale = scale;
+  plan.gameplay_seconds = gameplay_seconds;
+  plan.seed = seed;
+  return sim::lab_session_plan(plan);
+}
+
+/// Fits a fresh forest on `data` under each thread count and requires
+/// the full serialized payload and the OOB score to match the
+/// single-thread fit exactly.
+void expect_fit_identical_across_pools(const ml::Dataset& data,
+                                       ml::RandomForestParams params) {
+  std::string reference;
+  double reference_oob = 0.0;
+  for (const std::size_t threads : kThreadCounts) {
+    ThreadPool pool(threads);
+    ml::RandomForest forest(params);
+    forest.fit(data, pool);
+    const std::string model = forest.serialize();
+    if (threads == 1) {
+      reference = model;
+      reference_oob = forest.oob_score();
+    } else {
+      EXPECT_EQ(model, reference) << "forest diverged at " << threads
+                                  << " threads";
+      if (std::isnan(reference_oob))
+        EXPECT_TRUE(std::isnan(forest.oob_score()));  // no-bootstrap: no OOB
+      else
+        EXPECT_EQ(forest.oob_score(), reference_oob);
+    }
+  }
+}
+
+TEST(ParallelTraining, TitleForestIdenticalAcrossThreadCounts) {
+  const auto specs = tiny_plan(5.0, 11);
+  TitleDatasetOptions options;
+  options.augment_copies = 1;
+  const ml::Dataset data = build_title_dataset(specs, options);
+  ml::RandomForestParams params = TitleClassifierParams{}.forest;
+  params.n_trees = 40;  // enough trees to exercise several chunks
+  expect_fit_identical_across_pools(data, params);
+}
+
+TEST(ParallelTraining, StageForestIdenticalAcrossThreadCounts) {
+  const auto specs = tiny_plan(40.0, 12);
+  const ml::Dataset data = build_stage_dataset(specs);
+  ml::RandomForestParams params = StageClassifierParams{}.forest;
+  params.n_trees = 40;
+  expect_fit_identical_across_pools(data, params);
+}
+
+TEST(ParallelTraining, PatternForestIdenticalAcrossThreadCounts) {
+  const auto stage_specs = tiny_plan(40.0, 13);
+  StageClassifier stages;
+  stages.train(build_stage_dataset(stage_specs));
+  const auto pattern_specs = tiny_plan(60.0, 14);
+  const ml::Dataset data = build_pattern_dataset(pattern_specs, stages);
+  ml::RandomForestParams params = TitleClassifierParams{}.forest;
+  params.n_trees = 40;
+  expect_fit_identical_across_pools(data, params);
+}
+
+TEST(ParallelTraining, NoBootstrapFitIdenticalAcrossThreadCounts) {
+  const auto specs = tiny_plan(5.0, 15);
+  const ml::Dataset data = build_title_dataset(specs);
+  ml::RandomForestParams params = TitleClassifierParams{}.forest;
+  params.n_trees = 24;
+  params.bootstrap = false;
+  expect_fit_identical_across_pools(data, params);
+}
+
+TEST(ParallelTraining, DatasetBuildersIdenticalAcrossThreadCounts) {
+  const auto specs = tiny_plan(20.0, 16);
+  TitleDatasetOptions options;
+  options.augment_copies = 1;
+  StageClassifier stages;
+  stages.train(build_stage_dataset(tiny_plan(40.0, 17)));
+
+  ThreadPool serial(1);
+  const ml::Dataset title_ref = build_title_dataset(specs, options, &serial);
+  const ml::Dataset flow_ref =
+      build_flow_volumetric_dataset(specs, options, &serial);
+  const ml::Dataset stage_ref = build_stage_dataset(specs, {}, &serial);
+  const ml::Dataset pattern_ref =
+      build_pattern_dataset(specs, stages, {}, true, &serial);
+
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{4}}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(build_title_dataset(specs, options, &pool).rows(),
+              title_ref.rows());
+    EXPECT_EQ(build_flow_volumetric_dataset(specs, options, &pool).rows(),
+              flow_ref.rows());
+    EXPECT_EQ(build_stage_dataset(specs, {}, &pool).rows(), stage_ref.rows());
+    const ml::Dataset pattern =
+        build_pattern_dataset(specs, stages, {}, true, &pool);
+    EXPECT_EQ(pattern.rows(), pattern_ref.rows());
+    ASSERT_EQ(pattern.size(), pattern_ref.size());
+    for (std::size_t i = 0; i < pattern.size(); ++i)
+      EXPECT_EQ(pattern.label(i), pattern_ref.label(i));
+  }
+}
+
+TEST(ParallelTraining, GridSearchWinnerIdenticalAcrossThreadCounts) {
+  const auto specs = tiny_plan(5.0, 18, 0.05);
+  const ml::Dataset data = build_title_dataset(specs);
+  std::vector<ml::GridCandidate> grid;
+  for (const std::size_t trees : {std::size_t{10}, std::size_t{25}}) {
+    ml::RandomForestParams p = TitleClassifierParams{}.forest;
+    p.n_trees = trees;
+    grid.push_back({"rf" + std::to_string(trees),
+                    [p] { return std::make_unique<ml::RandomForest>(p); }});
+  }
+  grid.push_back({"knn3", [] {
+                    return std::make_unique<ml::Knn>(ml::KnnParams{.k = 3});
+                  }});
+
+  std::vector<double> reference_scores;
+  std::size_t reference_best = 0;
+  for (const std::size_t threads : kThreadCounts) {
+    ThreadPool pool(threads);
+    ml::Rng rng(99);
+    const ml::GridSearchResult result =
+        ml::grid_search(grid, data, 3, rng, &pool);
+    if (threads == 1) {
+      reference_scores = result.scores;
+      reference_best = result.best_index;
+    } else {
+      EXPECT_EQ(result.scores, reference_scores)
+          << "grid scores diverged at " << threads << " threads";
+      EXPECT_EQ(result.best_index, reference_best);
+    }
+  }
+}
+
+TEST(ParallelTraining, CrossValScoreIdenticalAcrossThreadCounts) {
+  const auto specs = tiny_plan(5.0, 19, 0.05);
+  const ml::Dataset data = build_title_dataset(specs);
+  ml::RandomForestParams p = TitleClassifierParams{}.forest;
+  p.n_trees = 15;
+  const ml::GridCandidate candidate{
+      "rf15", [p] { return std::make_unique<ml::RandomForest>(p); }};
+  double reference = 0.0;
+  for (const std::size_t threads : kThreadCounts) {
+    ThreadPool pool(threads);
+    ml::Rng rng(7);
+    const double score = ml::cross_val_score(candidate, data, 4, rng, &pool);
+    if (threads == 1)
+      reference = score;
+    else
+      EXPECT_EQ(score, reference);
+  }
+}
+
+}  // namespace
+}  // namespace cgctx::core

@@ -1,0 +1,126 @@
+#include "core/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace cgctx::core {
+namespace {
+
+TEST(ThreadPool, SingleThreadPoolOwnsNoWorkers) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(ThreadPool, SizeMatchesRequestedThreads) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, VisitsEveryIndexExactlyOnce) {
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{4}}) {
+    ThreadPool pool(threads);
+    constexpr std::size_t kCount = 1000;
+    std::vector<std::atomic<int>> visits(kCount);
+    pool.parallel_for(0, kCount,
+                      [&](std::size_t i) { visits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < kCount; ++i) EXPECT_EQ(visits[i].load(), 1);
+  }
+}
+
+TEST(ThreadPool, EmptyRangeRunsNothing) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  pool.parallel_for(5, 5, [&](std::size_t) { calls.fetch_add(1); });
+  pool.parallel_for(7, 3, [&](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, SingleChunkRunsInlineOnCaller) {
+  ThreadPool pool(4);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen(3);
+  // grain >= range: one chunk, which the caller must execute itself.
+  pool.parallel_chunks(0, 3, 100, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i)
+      seen[i] = std::this_thread::get_id();
+  });
+  for (const auto& id : seen) EXPECT_EQ(id, caller);
+}
+
+TEST(ThreadPool, ExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(0, 100,
+                                 [](std::size_t i) {
+                                   if (i == 37)
+                                     throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, PoolUsableAfterException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(0, 10,
+                        [](std::size_t) { throw std::runtime_error("x"); }),
+      std::runtime_error);
+  std::atomic<std::size_t> sum{0};
+  pool.parallel_for(0, 10, [&](std::size_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 45u);
+}
+
+TEST(ThreadPool, ExceptionOnSerialPoolPropagates) {
+  ThreadPool pool(1);
+  EXPECT_THROW(
+      pool.parallel_for(0, 4,
+                        [](std::size_t) { throw std::logic_error("inline"); }),
+      std::logic_error);
+}
+
+TEST(ThreadPool, NestedUseRunsInlineWithoutDeadlock) {
+  // A task that itself calls parallel_for on the same pool must not
+  // deadlock: nested regions run inline on the worker (DESIGN.md §9).
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> visits(64);
+  pool.parallel_for(0, 8, [&](std::size_t outer) {
+    EXPECT_TRUE(pool.in_parallel_region());
+    pool.parallel_for(0, 8, [&](std::size_t inner) {
+      visits[outer * 8 + inner].fetch_add(1);
+    });
+  });
+  for (auto& v : visits) EXPECT_EQ(v.load(), 1);
+  EXPECT_FALSE(pool.in_parallel_region());
+}
+
+TEST(ThreadPool, DefaultThreadsIsAtLeastOne) {
+  EXPECT_GE(ThreadPool::default_threads(), 1u);
+}
+
+TEST(ThreadPool, TrainingSingletonIsStable) {
+  ThreadPool& a = ThreadPool::training();
+  ThreadPool& b = ThreadPool::training();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.size(), 1u);
+}
+
+TEST(ThreadPool, ParallelChunksCoversRangeWithArbitraryGrain) {
+  ThreadPool pool(3);
+  for (const std::size_t grain : {std::size_t{1}, std::size_t{7},
+                                  std::size_t{50}, std::size_t{1000}}) {
+    std::vector<std::atomic<int>> visits(101);
+    pool.parallel_chunks(0, 101, grain,
+                         [&](std::size_t begin, std::size_t end) {
+                           for (std::size_t i = begin; i < end; ++i)
+                             visits[i].fetch_add(1);
+                         });
+    for (std::size_t i = 0; i < visits.size(); ++i)
+      ASSERT_EQ(visits[i].load(), 1) << "grain " << grain << " index " << i;
+  }
+}
+
+}  // namespace
+}  // namespace cgctx::core

@@ -88,5 +88,46 @@ TEST(GridSearch, DeterministicGivenSeed) {
   EXPECT_EQ(a.best_index, b.best_index);
 }
 
+TEST(GridSearch, ScoresIdenticalAcrossThreadCounts) {
+  const Dataset data = noisy_blobs(60, 14);
+  std::vector<GridCandidate> grid = {knn_candidate(3), knn_candidate(9)};
+  grid.push_back({"rf20", [] {
+                    return std::make_unique<RandomForest>(
+                        RandomForestParams{.n_trees = 20, .seed = 15});
+                  }});
+  std::vector<double> reference;
+  std::size_t reference_best = 0;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{4}}) {
+    core::ThreadPool pool(threads);
+    Rng rng(16);
+    const auto result = grid_search(grid, data, 4, rng, &pool);
+    if (threads == 1) {
+      reference = result.scores;
+      reference_best = result.best_index;
+    } else {
+      EXPECT_EQ(result.scores, reference)
+          << "diverged at " << threads << " threads";
+      EXPECT_EQ(result.best_index, reference_best);
+    }
+  }
+}
+
+TEST(CrossValScore, IdenticalAcrossThreadCounts) {
+  const Dataset data = noisy_blobs(50, 17);
+  double reference = 0.0;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{4}}) {
+    core::ThreadPool pool(threads);
+    Rng rng(18);
+    const double score =
+        cross_val_score(knn_candidate(5), data, 4, rng, &pool);
+    if (threads == 1)
+      reference = score;
+    else
+      EXPECT_EQ(score, reference);
+  }
+}
+
 }  // namespace
 }  // namespace cgctx::ml

@@ -3,6 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
+#include <utility>
+
+#include "core/thread_pool.hpp"
 
 namespace cgctx::ml {
 namespace {
@@ -152,6 +156,81 @@ TEST(RandomForest, SerializeRoundTripPredictsIdentically) {
 
 TEST(RandomForest, DeserializeRejectsGarbage) {
   EXPECT_THROW(RandomForest::deserialize("woods 3 2"), std::invalid_argument);
+}
+
+TEST(RandomForest, DeserializeRejectsTreeClassCountMismatch) {
+  const Dataset data = blobs(40, 3.0, 25);
+  RandomForest forest(RandomForestParams{.n_trees = 3, .seed = 26});
+  forest.fit(data);
+  std::string text = forest.serialize();
+  // Bump the header's class count from 2 to 3: every tree now disagrees
+  // with the header and the payload must be rejected, not trusted.
+  const std::size_t header_end = text.find('\n');
+  ASSERT_NE(header_end, std::string::npos);
+  ASSERT_EQ(text.substr(0, header_end), "forest 3 2");
+  text.replace(0, header_end, "forest 3 3");
+  try {
+    RandomForest::deserialize(text);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("classes"), std::string::npos);
+  }
+}
+
+TEST(RandomForest, DeserializeRejectsTreeFeatureWidthMismatch) {
+  // Splice a 3-feature tree into a 2-feature forest payload: header and
+  // classes agree, but the trees disagree on feature width.
+  const Dataset narrow = blobs(40, 3.0, 27);
+  Dataset wide({"x", "y", "z"}, {"a", "b"});
+  Rng rng(28);
+  for (std::size_t i = 0; i < 40; ++i) {
+    const auto c = static_cast<Label>(i % 2);
+    wide.add({rng.normal(3.0 * c, 1.0), rng.normal(0.0, 1.0),
+              rng.normal(0.0, 1.0)},
+             c);
+  }
+  RandomForest forest_a(RandomForestParams{.n_trees = 1, .seed = 29});
+  forest_a.fit(narrow);
+  RandomForest forest_b(RandomForestParams{.n_trees = 1, .seed = 30});
+  forest_b.fit(wide);
+  // Serialized form is two header lines followed by the tree payloads.
+  const auto split_headers = [](const std::string& text) {
+    const std::size_t second_line_end = text.find('\n', text.find('\n') + 1);
+    return std::pair{text.substr(0, second_line_end + 1),
+                     text.substr(second_line_end + 1)};
+  };
+  const auto [headers_a, tree_a] = split_headers(forest_a.serialize());
+  const auto [headers_b, tree_b] = split_headers(forest_b.serialize());
+  const std::string params_line = headers_a.substr(headers_a.find('\n') + 1);
+  const std::string spliced =
+      "forest 2 2\n" + params_line + tree_a + tree_b;
+  try {
+    RandomForest::deserialize(spliced);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("feature width"), std::string::npos);
+  }
+}
+
+TEST(RandomForest, FitIdenticalAcrossExplicitPools) {
+  const Dataset data = blobs(80, 2.0, 31, 3);
+  const RandomForestParams params{.n_trees = 30, .seed = 32};
+  std::string reference;
+  double reference_oob = 0.0;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{4}}) {
+    core::ThreadPool pool(threads);
+    RandomForest forest(params);
+    forest.fit(data, pool);
+    if (threads == 1) {
+      reference = forest.serialize();
+      reference_oob = forest.oob_score();
+    } else {
+      EXPECT_EQ(forest.serialize(), reference)
+          << "diverged at " << threads << " threads";
+      EXPECT_EQ(forest.oob_score(), reference_oob);
+    }
+  }
 }
 
 /// Property sweep: more trees should not hurt OOB accuracy much; ensemble
