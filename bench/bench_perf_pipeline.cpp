@@ -9,15 +9,21 @@
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <new>
 
 #include "common/bench_support.hpp"
+#include "core/pipeline_metrics.hpp"
 #include "core/session_engine.hpp"
+#include "core/trace_sink.hpp"
 #include "core/training.hpp"
 #include "net/flow_table.hpp"
 #include "net/framing.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/session.hpp"
 
 // --- Heap allocation counter -------------------------------------------
@@ -278,17 +284,208 @@ void BM_EngineTelemetrySessionSteadyState(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineTelemetrySessionSteadyState);
 
+// --- Instrumented steady state -----------------------------------------
+// Same hot paths with the full telemetry plane enabled: a registry-bound
+// PipelineMetrics and a decision-trace sink. The 0-allocs/op contract
+// must hold with observability ON — that is the deployment configuration.
+
+void BM_EnginePacketSteadyStateInstrumented(benchmark::State& state) {
+  const auto& suite = bench::bench_models();
+  static const core::PipelineParams params = core::default_pipeline_params();
+  const auto& packets = sample_session().packets;
+
+  obs::MetricsRegistry registry;
+  const core::PipelineMetrics metrics = core::PipelineMetrics::create(registry);
+  obs::DecisionTraceRing ring(1024);
+  core::TraceSessionSink sink{&ring, 1};
+
+  core::SessionEngine engine(suite.models(), &params);
+  engine.set_metrics(&metrics);
+  engine.start(packets.front().timestamp);
+  for (const auto& pkt : packets) engine.on_packet(pkt, sink);
+
+  const std::size_t mid = packets.size() / 2;
+  std::size_t next = 0;
+  run_zero_alloc(state, [&] {
+    engine.on_packet(packets[mid + next], sink);
+    next = (next + 1) & (kPacketPool - 1);
+  });
+}
+BENCHMARK(BM_EnginePacketSteadyStateInstrumented);
+
+void BM_EngineTelemetrySessionSteadyStateInstrumented(
+    benchmark::State& state) {
+  const auto& suite = bench::bench_models();
+  static const core::PipelineParams params = core::default_pipeline_params();
+  sim::SessionGenerator generator;
+  sim::SessionSpec spec;
+  spec.title = sim::GameTitle::kCsgo;
+  spec.gameplay_seconds = 600.0;
+  spec.seed = 10;
+  const sim::LabeledSession session = generator.generate_slots_only(spec);
+  const core::TitleResult title =
+      suite.models().title->classify(session.packets, session.launch_begin);
+
+  obs::MetricsRegistry registry;
+  const core::PipelineMetrics metrics = core::PipelineMetrics::create(registry);
+  obs::DecisionTraceRing ring(1024);
+  core::TraceSessionSink sink{&ring, 1};
+
+  core::SessionEngine engine(suite.models(), &params);
+  engine.set_metrics(&metrics);
+  const auto run_session = [&] {
+    engine.reset();
+    engine.start(session.launch_begin);
+    engine.set_title(title);
+    for (const sim::SlotSample& sample : session.slots) {
+      core::SlotTelemetry slot;
+      slot.volumetrics =
+          core::RawSlotVolumetrics{sample.down_bytes, sample.down_packets,
+                                   sample.up_bytes, sample.up_packets};
+      slot.frames = sample.frames;
+      slot.rtt_ms = sample.rtt_ms;
+      slot.loss_rate = sample.loss_rate;
+      engine.push_slot(slot, sink);
+    }
+    benchmark::DoNotOptimize(&engine.finish(sink));
+  };
+  run_session();  // warm-up: install buffer capacities
+  run_zero_alloc(state, run_session);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(session.slots.size()));
+}
+BENCHMARK(BM_EngineTelemetrySessionSteadyStateInstrumented);
+
+// --- Instrumented-overhead gate ----------------------------------------
+// CI mode (--instrumented-gate): measures the telemetry-mode session
+// throughput with the telemetry plane off vs fully on (metrics +
+// tracing) and fails if instrumentation costs more than 10% throughput
+// or allocates on the steady-state path. Best-of-N minimum times resist
+// scheduler noise on shared CI runners.
+
+int run_instrumented_gate() {
+  constexpr int kReps = 7;
+  constexpr int kSessionsPerRep = 10;
+  constexpr double kMaxRegression = 0.10;
+
+  const auto& suite = bench::bench_models();
+  static const core::PipelineParams params = core::default_pipeline_params();
+  sim::SessionGenerator generator;
+  sim::SessionSpec spec;
+  spec.title = sim::GameTitle::kCsgo;
+  spec.gameplay_seconds = 600.0;
+  spec.seed = 10;
+  const sim::LabeledSession session = generator.generate_slots_only(spec);
+  const core::TitleResult title =
+      suite.models().title->classify(session.packets, session.launch_begin);
+
+  obs::MetricsRegistry registry;
+  const core::PipelineMetrics metrics = core::PipelineMetrics::create(registry);
+  obs::DecisionTraceRing ring(1024);
+  core::TraceSessionSink trace_sink{&ring, 1};
+  core::NullSessionSink null_sink;
+
+  core::SessionEngine plain(suite.models(), &params);
+  core::SessionEngine instrumented(suite.models(), &params);
+  instrumented.set_metrics(&metrics);
+
+  const auto run_session = [&](core::SessionEngine& engine, auto& sink) {
+    engine.reset();
+    engine.start(session.launch_begin);
+    engine.set_title(title);
+    for (const sim::SlotSample& sample : session.slots) {
+      core::SlotTelemetry slot;
+      slot.volumetrics =
+          core::RawSlotVolumetrics{sample.down_bytes, sample.down_packets,
+                                   sample.up_bytes, sample.up_packets};
+      slot.frames = sample.frames;
+      slot.rtt_ms = sample.rtt_ms;
+      slot.loss_rate = sample.loss_rate;
+      engine.push_slot(slot, sink);
+    }
+    benchmark::DoNotOptimize(&engine.finish(sink));
+  };
+
+  // Warm-up: install buffer capacities in both engines.
+  run_session(plain, null_sink);
+  run_session(instrumented, trace_sink);
+
+  using Clock = std::chrono::steady_clock;
+  double plain_min_s = 1e300;
+  double instr_min_s = 1e300;
+  std::uint64_t instr_allocs = 0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    auto begin = Clock::now();
+    for (int i = 0; i < kSessionsPerRep; ++i) run_session(plain, null_sink);
+    const double plain_s =
+        std::chrono::duration<double>(Clock::now() - begin).count();
+    if (plain_s < plain_min_s) plain_min_s = plain_s;
+
+    const std::uint64_t allocs_before =
+        g_allocations.load(std::memory_order_relaxed);
+    begin = Clock::now();
+    for (int i = 0; i < kSessionsPerRep; ++i)
+      run_session(instrumented, trace_sink);
+    const double instr_s =
+        std::chrono::duration<double>(Clock::now() - begin).count();
+    if (instr_s < instr_min_s) instr_min_s = instr_s;
+    instr_allocs +=
+        g_allocations.load(std::memory_order_relaxed) - allocs_before;
+  }
+
+  const double regression = instr_min_s / plain_min_s - 1.0;
+  const double slots =
+      static_cast<double>(session.slots.size()) * kSessionsPerRep;
+  std::printf(
+      "instrumented-gate: plain %.1f slots/ms, instrumented %.1f slots/ms "
+      "(overhead %+.1f%%), instrumented allocs %llu\n",
+      slots / (plain_min_s * 1e3), slots / (instr_min_s * 1e3),
+      100.0 * regression,
+      static_cast<unsigned long long>(instr_allocs));
+
+  bool failed = false;
+  if (instr_allocs != 0) {
+    std::fprintf(stderr,
+                 "FAIL: instrumented steady state performed %llu heap "
+                 "allocations (contract: 0)\n",
+                 static_cast<unsigned long long>(instr_allocs));
+    failed = true;
+  }
+  if (regression > kMaxRegression) {
+    std::fprintf(stderr,
+                 "FAIL: telemetry plane costs %.1f%% throughput "
+                 "(budget: %.0f%%)\n",
+                 100.0 * regression, 100.0 * kMaxRegression);
+    failed = true;
+  }
+  return failed ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Strip --instrumented-gate before benchmark::Initialize (it rejects
+  // unknown flags).
+  bool gate = false;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--instrumented-gate") == 0)
+      gate = true;
+    else
+      argv[out++] = argv[i];
+  }
+  argc = out;
+
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  int rc = 0;
+  if (gate) rc = run_instrumented_gate();
   if (g_zero_alloc_violation) {
     std::fprintf(stderr,
                  "FAIL: a steady-state hot path performed heap allocations\n");
-    return 1;
+    rc = 1;
   }
-  return 0;
+  return rc;
 }

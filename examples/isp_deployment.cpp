@@ -6,12 +6,24 @@
 // effective QoE correction (Fig. 13). Also dumps the raw aggregates as
 // CSV for downstream analytics.
 //
+// The pipeline publishes its classification-health counters and stage
+// timers into a metrics registry; `--metrics-out` dumps it as Prometheus
+// text exposition and `--trace-out` dumps every session's decision trace
+// as JSONL ("-" means stdout for either).
+//
 //   ./isp_deployment [n_sessions] [csv_path]
+//                    [--metrics-out PATH|-] [--trace-out PATH|-]
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
+#include <iostream>
 
 #include "core/model_suite.hpp"
+#include "core/pipeline_metrics.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/fleet.hpp"
 #include "telemetry/aggregator.hpp"
 #include "telemetry/provisioning.hpp"
@@ -19,8 +31,30 @@
 using namespace cgctx;
 
 int main(int argc, char** argv) {
-  const int n_sessions = argc > 1 ? std::atoi(argv[1]) : 300;
-  const char* csv_path = argc > 2 ? argv[2] : nullptr;
+  int n_sessions = 300;
+  const char* csv_path = nullptr;
+  const char* metrics_out = nullptr;
+  const char* trace_out = nullptr;
+  int n_positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      metrics_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else if (n_positional == 0) {
+      n_sessions = std::atoi(argv[i]);
+      ++n_positional;
+    } else if (n_positional == 1) {
+      csv_path = argv[i];
+      ++n_positional;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [n_sessions] [csv_path] "
+                   "[--metrics-out PATH|-] [--trace-out PATH|-]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
 
   std::puts("Training models...");
   core::TrainingBudget budget;
@@ -28,8 +62,17 @@ int main(int argc, char** argv) {
   budget.gameplay_seconds = 180.0;
   budget.augment_copies = 1;
   const core::ModelSuite suite = core::train_model_suite(budget);
-  const core::RealtimePipeline pipeline(suite.models(),
-                                        core::default_pipeline_params());
+  core::RealtimePipeline pipeline(suite.models(),
+                                  core::default_pipeline_params());
+
+  // Telemetry plane: one registry for the whole run; the trace ring
+  // keeps the last ~32 decisions per expected session.
+  obs::MetricsRegistry registry;
+  const core::PipelineMetrics metrics = core::PipelineMetrics::create(registry);
+  pipeline.set_metrics(&metrics);
+  obs::DecisionTraceRing trace(
+      static_cast<std::size_t>(n_sessions > 0 ? n_sessions : 1) * 32);
+  if (trace_out != nullptr) pipeline.set_trace(&trace);
 
   std::printf("Simulating %d fleet sessions...\n", n_sessions);
   sim::FleetOptions options;
@@ -114,6 +157,26 @@ int main(int argc, char** argv) {
     std::ofstream out(csv_path, std::ios::trunc);
     out << by_title.to_csv();
     std::printf("\nwrote per-title aggregates to %s\n", csv_path);
+  }
+
+  if (metrics_out != nullptr) {
+    const std::string page = obs::to_prometheus(registry.snapshot());
+    if (std::strcmp(metrics_out, "-") == 0) {
+      std::fputs(page.c_str(), stdout);
+    } else {
+      std::ofstream out(metrics_out, std::ios::trunc);
+      out << page;
+      std::printf("wrote metrics to %s\n", metrics_out);
+    }
+  }
+  if (trace_out != nullptr) {
+    if (std::strcmp(trace_out, "-") == 0) {
+      obs::write_jsonl(trace, std::cout);
+    } else {
+      std::ofstream out(trace_out, std::ios::trunc);
+      obs::write_jsonl(trace, out);
+      std::printf("wrote %zu trace events to %s\n", trace.size(), trace_out);
+    }
   }
   return 0;
 }

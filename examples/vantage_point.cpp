@@ -1,24 +1,73 @@
 // Vantage-point demo: the deployment shape. One aggregate packet stream
 // carries several subscribers' concurrent cloud-gaming sessions plus
-// their household cross-traffic; the MultiSessionProbe demultiplexes,
-// classifies and retires each session independently, emitting one report
-// per subscriber session.
+// their household cross-traffic; the ShardedProbe partitions the
+// five-tuple space across worker shards, each demultiplexing,
+// classifying and retiring its sessions independently, emitting one
+// report per subscriber session.
 //
-//   ./vantage_point [n_subscribers] [seed]
+// On exit the probe's telemetry plane is surfaced the way a deployment
+// would scrape it: the aggregated ProbeStats snapshot prints to stdout,
+// `--metrics-out` dumps the full registry as Prometheus text exposition,
+// and `--trace-out` dumps every session's decision trace as JSONL.
+//
+//   ./vantage_point [n_subscribers] [seed] [n_shards]
+//                   [--metrics-out PATH|-] [--trace-out PATH|-]
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
 
 #include "core/model_suite.hpp"
-#include "core/multi_session_probe.hpp"
+#include "core/sharded_probe.hpp"
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
 #include "sim/cross_traffic.hpp"
 
 using namespace cgctx;
 
+namespace {
+
+/// Writes `text` to `path`, with "-" meaning stdout.
+void dump(const char* what, const char* path, const std::string& text) {
+  if (std::strcmp(path, "-") == 0) {
+    std::fputs(text.c_str(), stdout);
+    return;
+  }
+  std::ofstream out(path, std::ios::trunc);
+  out << text;
+  std::printf("wrote %s to %s\n", what, path);
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  const int n_subscribers = argc > 1 ? std::atoi(argv[1]) : 3;
-  const std::uint64_t seed =
-      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 77;
+  int positional[3] = {3, 77, 2};  // n_subscribers, seed, n_shards
+  int n_positional = 0;
+  const char* metrics_out = nullptr;
+  const char* trace_out = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      metrics_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else if (n_positional < 3) {
+      positional[n_positional++] = std::atoi(argv[i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [n_subscribers] [seed] [n_shards] "
+                   "[--metrics-out PATH|-] [--trace-out PATH|-]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  const int n_subscribers = positional[0];
+  const auto seed = static_cast<std::uint64_t>(positional[1]);
+  const std::size_t n_shards =
+      positional[2] > 0 ? static_cast<std::size_t>(positional[2]) : 1;
 
   std::puts("Training models...");
   core::TrainingBudget budget;
@@ -50,13 +99,19 @@ int main(int argc, char** argv) {
   std::sort(wire.begin(), wire.end(), [](const auto& a, const auto& b) {
     return a.timestamp < b.timestamp;
   });
-  std::printf("Replaying %zu packets from %d subscribers...\n\n", wire.size(),
-              n_subscribers);
+  std::printf("Replaying %zu packets from %d subscribers over %zu shards"
+              "...\n\n",
+              wire.size(), n_subscribers, n_shards);
 
   std::size_t reports = 0;
-  core::MultiSessionProbe probe(
-      suite.models(),
-      core::MultiSessionProbeParams{core::default_pipeline_params()},
+  core::ShardedProbeParams params;
+  params.probe = core::MultiSessionProbeParams{core::default_pipeline_params()};
+  params.num_shards = n_shards;
+  // Always keep a decision trace; ~64 events per expected session is
+  // plenty (a 2-minute session emits well under that).
+  params.trace_capacity = static_cast<std::size_t>(n_subscribers) * 64;
+  core::ShardedProbe probe(
+      suite.models(), params,
       [&](const core::SessionReport& report) {
         ++reports;
         std::printf("session %zu: %-20s | %5.1f min | %5.1f Mbps | pattern %-18s"
@@ -78,5 +133,21 @@ int main(int argc, char** argv) {
 
   std::puts("\nGround truth sessions:");
   for (const std::string& truth : truths) std::printf("  %s\n", truth.c_str());
+
+  // Telemetry-plane dump: the aggregated probe counters, then (opted in)
+  // the full metrics registry and the per-session decision traces.
+  std::printf("\nProbe stats: %s\n", probe.stats().to_string().c_str());
+  if (metrics_out != nullptr)
+    dump("metrics", metrics_out, obs::to_prometheus(probe.metrics_snapshot()));
+  if (trace_out != nullptr) {
+    const std::vector<obs::TraceEvent> events = probe.drain_trace();
+    if (std::strcmp(trace_out, "-") == 0) {
+      obs::write_jsonl(events, std::cout);
+    } else {
+      std::ofstream out(trace_out, std::ios::trunc);
+      obs::write_jsonl(events, out);
+      std::printf("wrote %zu trace events to %s\n", events.size(), trace_out);
+    }
+  }
   return 0;
 }

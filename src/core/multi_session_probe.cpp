@@ -30,10 +30,14 @@ MultiSessionProbe::MultiSessionProbe(PipelineModels models,
 }
 
 std::unique_ptr<SessionEngine> MultiSessionProbe::acquire_engine() {
-  if (pool_.empty())
-    return std::make_unique<SessionEngine>(models_, &params_.pipeline);
+  if (pool_.empty()) {
+    auto engine = std::make_unique<SessionEngine>(models_, &params_.pipeline);
+    engine->set_metrics(metrics_);
+    return engine;
+  }
   std::unique_ptr<SessionEngine> engine = std::move(pool_.back());
   pool_.pop_back();
+  engine->set_metrics(metrics_);
   return engine;
 }
 
@@ -46,6 +50,7 @@ void MultiSessionProbe::retire(const net::FiveTuple& key) {
   const auto it = sessions_.find(key);
   if (it == sessions_.end()) return;
   std::unique_ptr<SessionEngine> engine = std::move(it->second.engine);
+  const std::uint64_t session_id = it->second.id;
   // Drop any residual flow-table entry so a later session on the same
   // five-tuple starts its detection from fresh statistics instead of a
   // lifetime mean diluted by the idle gap. Done before erasing the
@@ -54,16 +59,43 @@ void MultiSessionProbe::retire(const net::FiveTuple& key) {
   sessions_.erase(it);
   ++reports_;
   if (stats_ != nullptr) stats_->count_report();
-  if (has_event_) {
+  const SessionReport* report = nullptr;
+  if (trace_ != nullptr) {
+    if (has_event_) {
+      DualSink sink{&on_event_, trace_, session_id};
+      report = &engine->finish(sink);
+    } else {
+      TraceSessionSink sink{trace_, session_id};
+      report = &engine->finish(sink);
+    }
+    append_retired(*trace_, session_id, *report);
+  } else if (has_event_) {
     EventSink sink{&on_event_};
-    const SessionReport& report = engine->finish(sink);
-    if (on_report_) on_report_(report);
+    report = &engine->finish(sink);
   } else {
     NullSessionSink sink;
-    const SessionReport& report = engine->finish(sink);
-    if (on_report_) on_report_(report);
+    report = &engine->finish(sink);
   }
+  if (on_report_) on_report_(*report);
   release_engine(std::move(engine));
+}
+
+void MultiSessionProbe::feed(Session& session, const net::PacketRecord& pkt) {
+  if (trace_ != nullptr) {
+    if (has_event_) {
+      DualSink sink{&on_event_, trace_, session.id};
+      session.engine->on_packet(pkt, sink);
+    } else {
+      TraceSessionSink sink{trace_, session.id};
+      session.engine->on_packet(pkt, sink);
+    }
+  } else if (has_event_) {
+    EventSink sink{&on_event_};
+    session.engine->on_packet(pkt, sink);
+  } else {
+    NullSessionSink sink;
+    session.engine->on_packet(pkt, sink);
+  }
 }
 
 void MultiSessionProbe::push(const net::PacketRecord& pkt) {
@@ -88,13 +120,7 @@ void MultiSessionProbe::push(const net::PacketRecord& pkt) {
   const net::FiveTuple key = pkt.tuple.canonical();
   const auto live = sessions_.find(key);
   if (live != sessions_.end()) {
-    if (has_event_) {
-      EventSink sink{&on_event_};
-      live->second.engine->on_packet(pkt, sink);
-    } else {
-      NullSessionSink sink;
-      live->second.engine->on_packet(pkt, sink);
-    }
+    feed(live->second, pkt);
     live->second.last_seen = pkt.timestamp;
     sync_stats();
     return;
@@ -131,24 +157,20 @@ void MultiSessionProbe::push(const net::PacketRecord& pkt) {
   Session session;
   session.engine = acquire_engine();
   session.last_seen = pkt.timestamp;
+  session.id = next_session_id_;
+  next_session_id_ += id_stride_;
   session.engine->start(flow_begin);
   session.engine->set_detection(*detection);
-  if (has_event_) {
+  if (has_event_ || trace_ != nullptr) {
     StreamEvent event;
     event.type = StreamEventType::kFlowDetected;
     event.at_seconds = net::duration_to_seconds(pkt.timestamp - flow_begin);
     event.detection = detection;
-    on_event_(event);
-    EventSink sink{&on_event_};
-    for (const net::PacketRecord& earlier : lookback_)
-      if (earlier.tuple.canonical() == key)
-        session.engine->on_packet(earlier, sink);
-  } else {
-    NullSessionSink sink;
-    for (const net::PacketRecord& earlier : lookback_)
-      if (earlier.tuple.canonical() == key)
-        session.engine->on_packet(earlier, sink);
+    if (has_event_) on_event_(event);
+    if (trace_ != nullptr) append_trace(*trace_, session.id, event);
   }
+  for (const net::PacketRecord& earlier : lookback_)
+    if (earlier.tuple.canonical() == key) feed(session, earlier);
   sessions_.emplace(key, std::move(session));
   table_.erase(key);
   if (stats_ != nullptr) stats_->count_session_started();
@@ -168,6 +190,7 @@ void MultiSessionProbe::sync_stats() {
 
 void MultiSessionProbe::flush() {
   while (!sessions_.empty()) retire(sessions_.begin()->first);
+  sync_stats();  // the live-session gauge must read 0 after a flush
 }
 
 }  // namespace cgctx::core

@@ -20,9 +20,12 @@
 #include <memory>
 #include <vector>
 
+#include "core/pipeline_metrics.hpp"
 #include "core/probe_stats.hpp"
 #include "core/session_engine.hpp"
+#include "core/trace_sink.hpp"
 #include "net/flow_table.hpp"
+#include "obs/trace.hpp"
 
 namespace cgctx::core {
 
@@ -64,6 +67,21 @@ class MultiSessionProbe {
   /// flow/session gauges into it; it must outlive the probe.
   void set_stats(ProbeStats* stats) { stats_ = stats; }
 
+  /// Optional pipeline instrumentation, shared across all pooled engines.
+  /// Must be installed before the first packet and outlive the probe.
+  void set_metrics(const PipelineMetrics* metrics) { metrics_ = metrics; }
+
+  /// Optional decision-trace ring. Sessions are numbered `first_id`,
+  /// `first_id + id_stride`, ... so shard-local probes can interleave
+  /// globally unique ids. Must be installed before the first packet; the
+  /// ring must outlive the probe.
+  void set_trace(obs::DecisionTraceRing* ring, std::uint64_t first_id = 1,
+                 std::uint64_t id_stride = 1) {
+    trace_ = ring;
+    next_session_id_ = first_id;
+    id_stride_ = id_stride;
+  }
+
   [[nodiscard]] std::size_t live_sessions() const { return sessions_.size(); }
   [[nodiscard]] std::size_t reports_emitted() const { return reports_; }
   /// Engines parked in the reuse pool (grows to the high-water mark of
@@ -80,6 +98,8 @@ class MultiSessionProbe {
   struct Session {
     std::unique_ptr<SessionEngine> engine;
     net::Timestamp last_seen = 0;
+    /// Trace-plane session id (assigned at promotion; 0 when untraced).
+    std::uint64_t id = 0;
   };
 
   /// Event-forwarding sink for when an event callback is installed
@@ -92,8 +112,28 @@ class MultiSessionProbe {
     void on_slot_record(const SlotRecord&) {}
   };
 
+  /// Fans events out to both the legacy callback and the decision-trace
+  /// ring. QoE-change events are trace-only: callbacks predate the event
+  /// type and must not start receiving it.
+  struct DualSink {
+    static constexpr bool kWantsEvents = true;
+    static constexpr bool kWantsSlots = false;
+    static constexpr bool kWantsQoe = true;
+    const SessionEventCallback* on_event;
+    obs::DecisionTraceRing* ring;
+    std::uint64_t session_id;
+    void on_stream_event(const StreamEvent& event) {
+      append_trace(*ring, session_id, event);
+      if (event.type != StreamEventType::kQoeChanged) (*on_event)(event);
+    }
+    void on_slot_record(const SlotRecord&) {}
+  };
+
   [[nodiscard]] std::unique_ptr<SessionEngine> acquire_engine();
   void release_engine(std::unique_ptr<SessionEngine> engine);
+  /// Advances `session`'s engine by one packet through the sink matching
+  /// the installed callback/trace combination.
+  void feed(Session& session, const net::PacketRecord& pkt);
   void retire(const net::FiveTuple& key);
   /// Forwards eviction deltas and live gauges to stats_ (no-op unset).
   void sync_stats();
@@ -122,6 +162,10 @@ class MultiSessionProbe {
   ProbeStats* stats_ = nullptr;
   /// Evictions already forwarded to stats_ (table_ counts lifetime).
   std::uint64_t evictions_reported_ = 0;
+  const PipelineMetrics* metrics_ = nullptr;
+  obs::DecisionTraceRing* trace_ = nullptr;
+  std::uint64_t next_session_id_ = 1;
+  std::uint64_t id_stride_ = 1;
 };
 
 }  // namespace cgctx::core

@@ -40,23 +40,34 @@ std::optional<SessionReport> RealtimePipeline::process_packets(
 
   // Replay the flow through the shared session engine.
   SessionEngine engine(models_, &params_);
+  engine.set_metrics(metrics_);
   engine.start(flow_packets.front().timestamp);
   engine.set_detection(*detection);
+  if (trace_ != nullptr) {
+    const std::uint64_t id =
+        next_trace_id_.fetch_add(1, std::memory_order_relaxed);
+    StreamEvent event;
+    event.type = StreamEventType::kFlowDetected;
+    event.at_seconds = 0.0;
+    event.detection = detection;
+    append_trace(*trace_, id, event);
+    TraceSessionSink sink{trace_, id};
+    for (const net::PacketRecord& pkt : flow_packets)
+      engine.on_packet(pkt, sink);
+    SessionReport report = engine.finish(sink);
+    append_retired(*trace_, id, report);
+    return report;
+  }
   NullSessionSink sink;
   for (const net::PacketRecord& pkt : flow_packets) engine.on_packet(pkt, sink);
   return engine.finish(sink);
 }
 
-SessionReport RealtimePipeline::process_session(
-    const sim::LabeledSession& session) const {
-  SessionEngine engine(models_, &params_);
-  engine.start(session.launch_begin);
-  // Title verdict from the launch packet window, installed up front the
-  // way the deployment's launch-window service feeds the slot pipeline.
-  engine.set_title(
-      models_.title->classify(session.packets, session.launch_begin));
+namespace {
 
-  NullSessionSink sink;
+template <class Sink>
+SessionReport drive_session(SessionEngine& engine,
+                            const sim::LabeledSession& session, Sink& sink) {
   SlotTelemetry slot;
   for (const sim::SlotSample& sample : session.slots) {
     slot.volumetrics = RawSlotVolumetrics{sample.down_bytes,
@@ -68,6 +79,30 @@ SessionReport RealtimePipeline::process_session(
     engine.push_slot(slot, sink);
   }
   return engine.finish(sink);
+}
+
+}  // namespace
+
+SessionReport RealtimePipeline::process_session(
+    const sim::LabeledSession& session) const {
+  SessionEngine engine(models_, &params_);
+  engine.set_metrics(metrics_);
+  engine.start(session.launch_begin);
+  // Title verdict from the launch packet window, installed up front the
+  // way the deployment's launch-window service feeds the slot pipeline.
+  engine.set_title(
+      models_.title->classify(session.packets, session.launch_begin));
+
+  if (trace_ != nullptr) {
+    const std::uint64_t id =
+        next_trace_id_.fetch_add(1, std::memory_order_relaxed);
+    TraceSessionSink sink{trace_, id};
+    SessionReport report = drive_session(engine, session, sink);
+    append_retired(*trace_, id, report);
+    return report;
+  }
+  NullSessionSink sink;
+  return drive_session(engine, session, sink);
 }
 
 }  // namespace cgctx::core

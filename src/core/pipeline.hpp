@@ -17,10 +17,14 @@
 // observability platform ingests.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <optional>
 #include <span>
 
 #include "core/session_engine.hpp"
+#include "core/trace_sink.hpp"
+#include "obs/trace.hpp"
 #include "sim/session.hpp"
 
 namespace cgctx::core {
@@ -43,9 +47,23 @@ class RealtimePipeline {
 
   [[nodiscard]] const PipelineParams& params() const { return params_; }
 
+  /// Optional pipeline instrumentation, applied to every engine the
+  /// batch driver constructs. Must outlive the pipeline.
+  void set_metrics(const PipelineMetrics* metrics) { metrics_ = metrics; }
+
+  /// Optional decision trace; sessions are numbered 1, 2, ... in call
+  /// order. The ring is single-writer, so with tracing enabled the
+  /// process_* entry points must not run concurrently (without a trace
+  /// they remain freely concurrent). Must outlive the pipeline.
+  void set_trace(obs::DecisionTraceRing* ring) { trace_ = ring; }
+
  private:
   PipelineModels models_;
   PipelineParams params_;
+  const PipelineMetrics* metrics_ = nullptr;
+  obs::DecisionTraceRing* trace_ = nullptr;
+  /// Trace session numbering across const process_* calls.
+  mutable std::atomic<std::uint64_t> next_trace_id_{1};
 };
 
 }  // namespace cgctx::core

@@ -1,0 +1,47 @@
+#include "core/pipeline_metrics.hpp"
+
+namespace cgctx::core {
+
+PipelineMetrics PipelineMetrics::create(obs::MetricsRegistry& registry) {
+  PipelineMetrics m;
+  m.title_verdicts = &registry.counter(
+      "cgctx_session_title_verdicts_total",
+      "Title classification verdicts installed (classified or unknown)");
+  m.unknown_titles = &registry.counter(
+      "cgctx_session_unknown_titles_total",
+      "Title verdicts reported as unknown (no confident label)");
+  m.low_confidence_titles = &registry.counter(
+      "cgctx_session_low_confidence_titles_total",
+      "Title verdicts whose confidence fell below the unknown threshold");
+  m.pattern_decisions = &registry.counter(
+      "cgctx_session_pattern_decisions_total",
+      "Sessions whose pattern inference first cleared the confidence bar");
+  m.pattern_flips = &registry.counter(
+      "cgctx_session_pattern_flips_total",
+      "Confident pattern verdicts that changed as the matrix matured");
+  m.never_confident_patterns = &registry.counter(
+      "cgctx_session_never_confident_patterns_total",
+      "Finished sessions whose pattern inference never reached confidence");
+  m.sessions_finished = &registry.counter(
+      "cgctx_session_finished_total", "Sessions finalized with a report");
+  m.slots_processed = &registry.counter(
+      "cgctx_session_slots_total", "One-second slots closed and classified");
+  m.qoe_changes = &registry.counter(
+      "cgctx_session_qoe_changes_total",
+      "Slot-to-slot effective QoE level changes");
+  m.title_classify_ns = &registry.histogram(
+      "cgctx_pipeline_title_classify_ns",
+      "Launch-window title classification (attributes + forest walk)");
+  m.stage_classify_ns = &registry.histogram(
+      "cgctx_pipeline_stage_classify_ns",
+      "Per-slot activity stage classification (forest walk)");
+  m.pattern_infer_ns = &registry.histogram(
+      "cgctx_pipeline_pattern_infer_ns",
+      "Per-slot pattern gate + inference (forest walk when attempted)");
+  m.slot_close_ns = &registry.histogram(
+      "cgctx_pipeline_slot_close_ns",
+      "Whole slot-close pipeline (volumetrics, stage, pattern, QoE)");
+  return m;
+}
+
+}  // namespace cgctx::core

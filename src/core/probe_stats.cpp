@@ -1,68 +1,10 @@
 #include "core/probe_stats.hpp"
 
 #include <algorithm>
-#include <bit>
 #include <sstream>
+#include <utility>
 
 namespace cgctx::core {
-
-std::size_t LatencyHistogram::bucket_index(std::uint64_t nanos) {
-  // Values below 2^kSubBits land in the linear bottom range one-to-one;
-  // above it, the top kSubBits bits after the leading one select the
-  // sub-bucket within the value's octave.
-  if (nanos < (1ull << kSubBits)) return static_cast<std::size_t>(nanos);
-  const unsigned msb = std::bit_width(nanos) - 1;  // >= kSubBits
-  const unsigned octave = std::min(msb, kOctaves + kSubBits - 1);
-  const std::uint64_t clamped =
-      octave == msb ? nanos : (1ull << (octave + 1)) - 1;
-  const std::uint64_t sub =
-      (clamped >> (octave - kSubBits)) & ((1ull << kSubBits) - 1);
-  return ((octave - kSubBits + 1) << kSubBits) +
-         static_cast<std::size_t>(sub);
-}
-
-std::uint64_t LatencyHistogram::bucket_floor(std::size_t index) {
-  if (index < (1ull << kSubBits)) return index;
-  const unsigned octave =
-      static_cast<unsigned>(index >> kSubBits) - 1 + kSubBits;
-  const std::uint64_t sub = index & ((1ull << kSubBits) - 1);
-  return (1ull << octave) + (sub << (octave - kSubBits));
-}
-
-void LatencyHistogram::record(std::uint64_t nanos) {
-  buckets_[bucket_index(nanos)].fetch_add(1, std::memory_order_relaxed);
-}
-
-std::vector<std::uint64_t> LatencyHistogram::snapshot() const {
-  std::vector<std::uint64_t> out(kNumBuckets);
-  for (std::size_t i = 0; i < kNumBuckets; ++i)
-    out[i] = buckets_[i].load(std::memory_order_relaxed);
-  return out;
-}
-
-LatencySummary summarize_latency(std::span<const std::uint64_t> buckets,
-                                 std::uint64_t max_ns) {
-  LatencySummary summary;
-  for (const std::uint64_t count : buckets) summary.samples += count;
-  summary.max_us = static_cast<double>(max_ns) / 1e3;
-  if (summary.samples == 0) return summary;
-
-  const auto value_at = [&](double fraction) {
-    const auto target = static_cast<std::uint64_t>(
-        fraction * static_cast<double>(summary.samples - 1));
-    std::uint64_t seen = 0;
-    for (std::size_t i = 0; i < buckets.size(); ++i) {
-      seen += buckets[i];
-      if (seen > target)
-        return static_cast<double>(LatencyHistogram::bucket_floor(i)) / 1e3;
-    }
-    return summary.max_us;
-  };
-  summary.p50_us = value_at(0.50);
-  summary.p90_us = value_at(0.90);
-  summary.p99_us = value_at(0.99);
-  return summary;
-}
 
 LatencySummary ProbeStatsSnapshot::latency() const {
   return summarize_latency(latency_buckets, latency_max_ns);
@@ -85,36 +27,62 @@ std::string ProbeStatsSnapshot::to_string() const {
   return os.str();
 }
 
-void ProbeStats::observe_queue_depth(std::uint64_t depth) {
-  std::uint64_t seen = queue_depth_hwm_.load(std::memory_order_relaxed);
-  while (depth > seen &&
-         !queue_depth_hwm_.compare_exchange_weak(
-             seen, depth, std::memory_order_relaxed)) {
-  }
+ProbeStats::ProbeStats()
+    : owned_(std::make_unique<obs::MetricsRegistry>()) {
+  bind(*owned_, {});
 }
 
-void ProbeStats::record_latency_ns(std::uint64_t nanos) {
-  latency_.record(nanos);
-  std::uint64_t seen = latency_max_ns_.load(std::memory_order_relaxed);
-  while (nanos > seen &&
-         !latency_max_ns_.compare_exchange_weak(seen, nanos,
-                                                std::memory_order_relaxed)) {
-  }
+ProbeStats::ProbeStats(obs::MetricsRegistry& registry,
+                       obs::MetricLabels labels) {
+  bind(registry, std::move(labels));
+}
+
+void ProbeStats::bind(obs::MetricsRegistry& registry,
+                      obs::MetricLabels labels) {
+  packets_in_ = &registry.counter(
+      "cgctx_probe_packets_in_total",
+      "Packets accepted into a probe shard queue", labels);
+  packets_dropped_ = &registry.counter(
+      "cgctx_probe_packets_dropped_total",
+      "Packets rejected by the queue overflow policy", labels);
+  packets_processed_ = &registry.counter(
+      "cgctx_probe_packets_processed_total",
+      "Packets fully pushed through a probe", labels);
+  flow_evictions_ = &registry.counter(
+      "cgctx_probe_flow_evictions_total",
+      "Idle flows evicted from the shared flow table", labels);
+  sessions_started_ = &registry.counter(
+      "cgctx_probe_sessions_started_total",
+      "Flows promoted to tracked sessions", labels);
+  reports_emitted_ = &registry.counter(
+      "cgctx_probe_reports_total",
+      "Sessions retired with an emitted report", labels);
+  live_flows_ = &registry.gauge(
+      "cgctx_probe_live_flows", "Current flow-table size", labels);
+  live_sessions_ = &registry.gauge(
+      "cgctx_probe_live_sessions", "Current tracked session count", labels);
+  queue_depth_hwm_ = &registry.gauge(
+      "cgctx_probe_queue_depth_hwm",
+      "Shard queue depth high-water mark", labels);
+  latency_ = &registry.histogram(
+      "cgctx_probe_packet_latency_ns",
+      "Per-packet processing latency (sampled)", std::move(labels));
 }
 
 ProbeStatsSnapshot ProbeStats::snapshot() const {
   ProbeStatsSnapshot snap;
-  snap.packets_in = packets_in_.load(std::memory_order_relaxed);
-  snap.packets_dropped = packets_dropped_.load(std::memory_order_relaxed);
-  snap.packets_processed = packets_processed_.load(std::memory_order_relaxed);
-  snap.flow_evictions = flow_evictions_.load(std::memory_order_relaxed);
-  snap.sessions_started = sessions_started_.load(std::memory_order_relaxed);
-  snap.reports_emitted = reports_emitted_.load(std::memory_order_relaxed);
-  snap.live_flows = live_flows_.load(std::memory_order_relaxed);
-  snap.live_sessions = live_sessions_.load(std::memory_order_relaxed);
-  snap.queue_depth_hwm = queue_depth_hwm_.load(std::memory_order_relaxed);
-  snap.latency_max_ns = latency_max_ns_.load(std::memory_order_relaxed);
-  snap.latency_buckets = latency_.snapshot();
+  snap.packets_in = packets_in_->value();
+  snap.packets_dropped = packets_dropped_->value();
+  snap.packets_processed = packets_processed_->value();
+  snap.flow_evictions = flow_evictions_->value();
+  snap.sessions_started = sessions_started_->value();
+  snap.reports_emitted = reports_emitted_->value();
+  snap.live_flows = static_cast<std::uint64_t>(live_flows_->value());
+  snap.live_sessions = static_cast<std::uint64_t>(live_sessions_->value());
+  snap.queue_depth_hwm =
+      static_cast<std::uint64_t>(queue_depth_hwm_->value());
+  snap.latency_max_ns = latency_->max();
+  snap.latency_buckets = latency_->bucket_snapshot();
   return snap;
 }
 

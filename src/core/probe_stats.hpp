@@ -4,60 +4,34 @@
 // it runs: is the capture thread keeping up (drops, queue high-water
 // marks), is state bounded (live flows, evictions), and what does the
 // per-packet processing latency distribution look like. ProbeStats is
-// the per-shard sink for those signals — every mutator is a relaxed
-// atomic so the packet path never takes a lock, and snapshot() is safe
-// to call from any thread (monitoring, benches, tests) while workers
-// keep counting.
+// the per-shard sink for those signals.
+//
+// Since the unified telemetry plane (obs::MetricsRegistry), ProbeStats
+// is a thin facade: every counter it exposes is a registry instrument,
+// so the same numbers that feed its snapshot()/aggregate() API also
+// appear in the registry's Prometheus/JSON exports, labeled per shard.
+// The mutators remain single relaxed atomics — the packet path never
+// takes a lock. Construction binds the facade to a caller-supplied
+// registry (ShardedProbe labels each shard); the default constructor
+// keeps the old standalone behavior by owning a private registry.
 #pragma once
 
-#include <array>
-#include <atomic>
-#include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "obs/histogram.hpp"
+#include "obs/metrics.hpp"
+
 namespace cgctx::core {
 
-/// Log-linear histogram of nanosecond durations (HdrHistogram-style):
-/// each power-of-two range is split into 16 linear sub-buckets, giving
-/// ~6% relative resolution over [0, ~4.4 s] with a fixed 576-counter
-/// footprint and lock-free recording.
-class LatencyHistogram {
- public:
-  static constexpr unsigned kSubBits = 4;  ///< sub-buckets per octave: 16
-  static constexpr unsigned kOctaves = 32;  ///< covers up to 2^32 ns
-  static constexpr std::size_t kNumBuckets = (kOctaves + 1) << kSubBits;
-
-  void record(std::uint64_t nanos);
-
-  /// Bucket index for a value (exposed for the bucket math tests).
-  [[nodiscard]] static std::size_t bucket_index(std::uint64_t nanos);
-  /// Lower bound of a bucket's value range, the inverse of bucket_index.
-  [[nodiscard]] static std::uint64_t bucket_floor(std::size_t index);
-
-  /// Relaxed-read copy of all counters.
-  [[nodiscard]] std::vector<std::uint64_t> snapshot() const;
-
- private:
-  std::array<std::atomic<std::uint64_t>, kNumBuckets> buckets_{};
-};
-
-/// Percentile summary computed from histogram buckets.
-struct LatencySummary {
-  std::uint64_t samples = 0;
-  double p50_us = 0.0;
-  double p90_us = 0.0;
-  double p99_us = 0.0;
-  double max_us = 0.0;
-};
-
-/// Summarizes histogram bucket counts (as returned by
-/// LatencyHistogram::snapshot, or several of them summed element-wise).
-/// `max_ns` is the exact observed maximum, carried separately because
-/// buckets only bound it from below.
-LatencySummary summarize_latency(std::span<const std::uint64_t> buckets,
-                                 std::uint64_t max_ns);
+// The histogram/summary types predate the obs library and moved there so
+// every registry histogram shares them; these aliases keep the original
+// core spellings working.
+using LatencyHistogram = obs::LatencyHistogram;
+using LatencySummary = obs::LatencySummary;
+using obs::summarize_latency;
 
 /// Point-in-time view of one probe's (or one shard's) counters. Also the
 /// aggregation unit: ProbeStats::aggregate sums counters, maxes the
@@ -82,23 +56,37 @@ struct ProbeStatsSnapshot {
 
 class ProbeStats {
  public:
-  void count_packet_in() { add(packets_in_); }
-  void count_drop() { add(packets_dropped_); }
-  void count_processed() { add(packets_processed_); }
-  void add_evictions(std::uint64_t n) { add(flow_evictions_, n); }
-  void count_session_started() { add(sessions_started_); }
-  void count_report() { add(reports_emitted_); }
+  /// Standalone facade backed by a private registry (exported nowhere;
+  /// snapshot()/aggregate() are the only consumers).
+  ProbeStats();
+  /// Facade over `registry`: instruments are registered under
+  /// `cgctx_probe_*` with the given labels (e.g. {{"shard","3"}}), so a
+  /// registry export carries per-shard probe health. The registry must
+  /// outlive the facade.
+  ProbeStats(obs::MetricsRegistry& registry, obs::MetricLabels labels);
+
+  ProbeStats(const ProbeStats&) = delete;
+  ProbeStats& operator=(const ProbeStats&) = delete;
+
+  void count_packet_in() { packets_in_->add(); }
+  void count_drop() { packets_dropped_->add(); }
+  void count_processed() { packets_processed_->add(); }
+  void add_evictions(std::uint64_t n) { flow_evictions_->add(n); }
+  void count_session_started() { sessions_started_->add(); }
+  void count_report() { reports_emitted_->add(); }
 
   void set_live_flows(std::uint64_t n) {
-    live_flows_.store(n, std::memory_order_relaxed);
+    live_flows_->set(static_cast<std::int64_t>(n));
   }
   void set_live_sessions(std::uint64_t n) {
-    live_sessions_.store(n, std::memory_order_relaxed);
+    live_sessions_->set(static_cast<std::int64_t>(n));
   }
   /// Raises the queue high-water mark to `depth` if it exceeds it.
-  void observe_queue_depth(std::uint64_t depth);
+  void observe_queue_depth(std::uint64_t depth) {
+    queue_depth_hwm_->record_max(static_cast<std::int64_t>(depth));
+  }
 
-  void record_latency_ns(std::uint64_t nanos);
+  void record_latency_ns(std::uint64_t nanos) { latency_->record(nanos); }
 
   [[nodiscard]] ProbeStatsSnapshot snapshot() const;
 
@@ -108,22 +96,20 @@ class ProbeStats {
       std::span<const ProbeStatsSnapshot> shards);
 
  private:
-  using Counter = std::atomic<std::uint64_t>;
-  static void add(Counter& c, std::uint64_t n = 1) {
-    c.fetch_add(n, std::memory_order_relaxed);
-  }
+  void bind(obs::MetricsRegistry& registry, obs::MetricLabels labels);
 
-  Counter packets_in_{0};
-  Counter packets_dropped_{0};
-  Counter packets_processed_{0};
-  Counter flow_evictions_{0};
-  Counter sessions_started_{0};
-  Counter reports_emitted_{0};
-  Counter live_flows_{0};
-  Counter live_sessions_{0};
-  Counter queue_depth_hwm_{0};
-  Counter latency_max_ns_{0};
-  LatencyHistogram latency_;
+  /// Set only by the default constructor (standalone mode).
+  std::unique_ptr<obs::MetricsRegistry> owned_;
+  obs::Counter* packets_in_ = nullptr;
+  obs::Counter* packets_dropped_ = nullptr;
+  obs::Counter* packets_processed_ = nullptr;
+  obs::Counter* flow_evictions_ = nullptr;
+  obs::Counter* sessions_started_ = nullptr;
+  obs::Counter* reports_emitted_ = nullptr;
+  obs::Gauge* live_flows_ = nullptr;
+  obs::Gauge* live_sessions_ = nullptr;
+  obs::Gauge* queue_depth_hwm_ = nullptr;
+  obs::Histogram* latency_ = nullptr;
 };
 
 }  // namespace cgctx::core

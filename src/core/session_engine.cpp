@@ -11,6 +11,7 @@ const char* to_string(StreamEventType type) {
     case StreamEventType::kTitleClassified: return "title-classified";
     case StreamEventType::kStageChanged: return "stage-changed";
     case StreamEventType::kPatternInferred: return "pattern-inferred";
+    case StreamEventType::kQoeChanged: return "qoe-changed";
   }
   return "?";
 }
@@ -51,6 +52,12 @@ void SessionEngine::install_title(const TitleResult& title) {
   report_.title.class_name = title.class_name;
   report_.title.confidence = title.confidence;
   title_done_ = true;
+  if (metrics_ != nullptr) {
+    metrics_->title_verdicts->add();
+    if (!title.label) metrics_->unknown_titles->add();
+    if (title.confidence < models_.title->params().unknown_threshold)
+      metrics_->low_confidence_titles->add();
+  }
   has_demand_hint_ = false;
   if (report_.title.label) {
     const auto it = params_->title_demand_mbps.find(report_.title.class_name);
@@ -66,6 +73,8 @@ void SessionEngine::set_title(const TitleResult& title) {
 }
 
 void SessionEngine::classify_pending_title() {
+  const obs::ScopedTimer timer(
+      metrics_ != nullptr ? metrics_->title_classify_ns : nullptr);
   install_title(models_.title->classify_features(
       launch_attributes(title_window_, flow_begin_,
                         models_.title->params().attributes),
@@ -89,12 +98,25 @@ SessionEngine::SlotOutcome SessionEngine::close_slot_core() {
 
 SessionEngine::SlotOutcome SessionEngine::ingest_slot(
     const SlotTelemetry& slot) {
+  // Stage timers are sampled: the tick deliberately survives reset() so
+  // pooled engines running short sessions still hit sampled slots.
+  bool timed = false;
+  if (metrics_ != nullptr && ++timer_tick_ >= metrics_->timer_sample_stride) {
+    timer_tick_ = 0;
+    timed = true;
+  }
+  const obs::ScopedTimer slot_timer(timed ? metrics_->slot_close_ns : nullptr);
   SlotOutcome outcome;
   outcome.at_seconds = static_cast<double>(next_slot_ + 1);
 
   tracker_.push_into(slot.volumetrics, attrs_);
-  const ml::Label stage = models_.stage->classify(
-      std::span<const double>(attrs_), scratch(models_.stage->scratch_size()));
+  ml::Label stage;
+  {
+    const obs::ScopedTimer timer(timed ? metrics_->stage_classify_ns
+                                       : nullptr);
+    stage = models_.stage->classify(std::span<const double>(attrs_),
+                                    scratch(models_.stage->scratch_size()));
+  }
   transitions_.push(stage);
 
   if (stage != last_stage_) {
@@ -106,13 +128,23 @@ SessionEngine::SlotOutcome SessionEngine::ingest_slot(
   // recent confident verdict (it sharpens as the transition matrix
   // matures), while pattern_decided_at_s records when the operator first
   // had a usable answer.
-  if (auto inference = models_.pattern->infer(
-          transitions_, scratch(models_.pattern->scratch_size()))) {
+  std::optional<PatternResult> inference;
+  {
+    const obs::ScopedTimer timer(timed ? metrics_->pattern_infer_ns
+                                       : nullptr);
+    inference = models_.pattern->infer(
+        transitions_, scratch(models_.pattern->scratch_size()));
+  }
+  if (inference) {
     const bool first = !pattern_.has_value();
     const bool changed = !pattern_ || pattern_->label != inference->label;
     pattern_ = inference;
     if (first) pattern_decided_at_s_ = outcome.at_seconds;
     outcome.pattern_event = first || changed;
+    if (metrics_ != nullptr && outcome.pattern_event) {
+      if (first) metrics_->pattern_decisions->add();
+      else metrics_->pattern_flips->add();
+    }
   }
 
   SlotRecord record;
@@ -144,6 +176,16 @@ SessionEngine::SlotOutcome SessionEngine::ingest_slot(
   ++effective_counts_[static_cast<std::size_t>(record.effective)];
   report_.stage_seconds[static_cast<std::size_t>(stage)] +=
       params_->tracker.slot_seconds;
+
+  const auto effective_now = static_cast<std::int32_t>(record.effective);
+  outcome.qoe_changed =
+      last_effective_ >= 0 && effective_now != last_effective_;
+  last_effective_ = effective_now;
+  if (metrics_ != nullptr) {
+    metrics_->slots_processed->add();
+    if (outcome.qoe_changed) metrics_->qoe_changes->add();
+  }
+
   report_.slots.push_back(record);
   ++next_slot_;
   return outcome;
@@ -165,6 +207,11 @@ void SessionEngine::finalize() {
       report_.slots.empty()
           ? 0.0
           : total_mbps_ / static_cast<double>(report_.slots.size());
+  if (metrics_ != nullptr) {
+    metrics_->sessions_finished->add();
+    if (!report_.slots.empty() && pattern_decided_at_s_ < 0)
+      metrics_->never_confident_patterns->add();
+  }
 }
 
 void SessionEngine::reset() {
@@ -180,6 +227,7 @@ void SessionEngine::reset() {
   tracker_.reset();
   transitions_.reset();
   last_stage_ = -1;
+  last_effective_ = -1;
   pattern_.reset();
   pattern_decided_at_s_ = -1.0;
   // Clear the report in place (not report_ = {}): the slot vector and

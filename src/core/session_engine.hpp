@@ -33,16 +33,19 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "core/flow_detector.hpp"
 #include "core/launch_attributes.hpp"
+#include "core/pipeline_metrics.hpp"
 #include "core/qoe.hpp"
 #include "core/qoe_estimator.hpp"
 #include "core/stage_classifier.hpp"
 #include "core/title_classifier.hpp"
 #include "core/transition_model.hpp"
 #include "core/volumetric_tracker.hpp"
+#include "obs/scoped_timer.hpp"
 
 namespace cgctx::core {
 
@@ -106,11 +109,16 @@ struct SessionReport {
 };
 
 /// Classification milestones the engine surfaces as it advances.
+/// kQoeChanged is opt-in: it fires once per effective-QoE level change
+/// (potentially every slot under churn), so only sinks declaring
+/// `kWantsQoe = true` (the decision-trace sink) receive it — legacy
+/// event consumers see the original four types unchanged.
 enum class StreamEventType : std::uint8_t {
   kFlowDetected,
   kTitleClassified,
   kStageChanged,
   kPatternInferred,
+  kQoeChanged,
 };
 
 const char* to_string(StreamEventType type);
@@ -127,6 +135,8 @@ struct StreamEvent {
   std::optional<ml::Label> stage;
   /// kPatternInferred: the inference.
   std::optional<PatternResult> pattern;
+  /// kQoeChanged: the new effective QoE level.
+  std::optional<QoeLevel> qoe;
 };
 
 /// Type-erased callbacks used by the adapter layers (StreamingAnalyzer,
@@ -151,6 +161,18 @@ struct NullSessionSink {
   void on_stream_event(const StreamEvent&) {}
   void on_slot_record(const SlotRecord&) {}
 };
+
+/// Opt-in trait for QoE-change events: sinks may declare
+/// `static constexpr bool kWantsQoe = true` to receive kQoeChanged;
+/// sinks without the member (every pre-existing sink) default to false.
+template <class Sink, class = void>
+struct SinkWantsQoe : std::false_type {};
+template <class Sink>
+struct SinkWantsQoe<Sink, std::void_t<decltype(Sink::kWantsQoe)>>
+    : std::bool_constant<Sink::kWantsQoe> {};
+template <class Sink>
+inline constexpr bool kSinkWantsQoe =
+    Sink::kWantsEvents && SinkWantsQoe<Sink>::value;
 
 class SessionEngine {
  public:
@@ -200,6 +222,14 @@ class SessionEngine {
   /// engines reanalyze without reallocating.
   void reset();
 
+  /// Installs (or clears, with nullptr) the shared telemetry binding:
+  /// classification-health counters and stage timers. Survives reset(),
+  /// so pooled engines keep publishing. The instruments are wait-free
+  /// atomics and are only touched at slot closes and title/pattern
+  /// milestones — never on the per-packet path.
+  void set_metrics(const PipelineMetrics* metrics) { metrics_ = metrics; }
+  [[nodiscard]] const PipelineMetrics* metrics() const { return metrics_; }
+
   [[nodiscard]] bool started() const { return started_; }
   [[nodiscard]] bool title_classified() const { return title_done_; }
   [[nodiscard]] std::size_t slots_closed() const {
@@ -214,6 +244,7 @@ class SessionEngine {
     double at_seconds = 0.0;
     bool stage_changed = false;
     bool pattern_event = false;  ///< first confident inference or flip
+    bool qoe_changed = false;    ///< effective level differs from last slot
   };
 
   SlotOutcome close_slot_core();
@@ -255,8 +286,15 @@ class SessionEngine {
   VolumetricTracker tracker_;
   TransitionTracker transitions_;
   ml::Label last_stage_ = -1;
+  /// Effective QoE level of the previous slot; -1 before the first slot
+  /// (establishing the initial level is not a change).
+  std::int32_t last_effective_ = -1;
   std::optional<PatternResult> pattern_;
   double pattern_decided_at_s_ = -1.0;
+  const PipelineMetrics* metrics_ = nullptr;
+  /// Stage-timer sampling tick (see PipelineMetrics::timer_sample_stride);
+  /// deliberately not reset() so short pooled sessions still sample.
+  std::uint32_t timer_tick_ = 0;
 
   // Accumulated report state. QoE levels are counted, not collected:
   // session_level() needs only the per-level tallies.
@@ -329,6 +367,15 @@ void SessionEngine::deliver(const SlotOutcome& outcome, Sink& sink) {
       event.type = StreamEventType::kPatternInferred;
       event.at_seconds = outcome.at_seconds;
       event.pattern = pattern_;
+      sink.on_stream_event(event);
+    }
+  }
+  if constexpr (kSinkWantsQoe<Sink>) {
+    if (outcome.qoe_changed) {
+      StreamEvent event;
+      event.type = StreamEventType::kQoeChanged;
+      event.at_seconds = outcome.at_seconds;
+      event.qoe = report_.slots.back().effective;
       sink.on_stream_event(event);
     }
   }

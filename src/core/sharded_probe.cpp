@@ -28,15 +28,27 @@ struct ShardedProbe::Shard {
   bool closed = false;
 
   ProbeStats stats;
+  /// Decision trace, single-writer (this shard's worker thread).
+  std::unique_ptr<obs::DecisionTraceRing> trace;
   MultiSessionProbe probe;
   std::uint32_t latency_tick = 0;
   std::thread worker;
 
-  Shard(PipelineModels models, const MultiSessionProbeParams& params,
+  Shard(obs::MetricsRegistry& registry, const PipelineMetrics* metrics,
+        std::size_t index, std::size_t num_shards, std::size_t trace_capacity,
+        PipelineModels models, const MultiSessionProbeParams& params,
         MultiSessionProbe::ReportCallback on_report,
         SessionEventCallback on_event)
-      : probe(models, params, std::move(on_report), std::move(on_event)) {
+      : stats(registry, {{"shard", std::to_string(index)}}),
+        probe(models, params, std::move(on_report), std::move(on_event)) {
     probe.set_stats(&stats);
+    probe.set_metrics(metrics);
+    if (trace_capacity > 0) {
+      trace = std::make_unique<obs::DecisionTraceRing>(trace_capacity);
+      // Session ids interleave across shards (shard i takes i+1, i+1+N,
+      // ...) so a merged trace stays globally unique without a lock.
+      probe.set_trace(trace.get(), index + 1, num_shards);
+    }
   }
 };
 
@@ -48,6 +60,7 @@ ShardedProbe::ShardedProbe(PipelineModels models, ShardedProbeParams params,
     throw std::invalid_argument("ShardedProbe: num_shards must be >= 1");
   if (params_.queue_capacity == 0)
     throw std::invalid_argument("ShardedProbe: queue_capacity must be >= 1");
+  pipeline_metrics_ = PipelineMetrics::create(registry_);
 
   // Per-shard report sink: serialize across workers, then forward.
   const auto sink = [this](const SessionReport& report) {
@@ -68,8 +81,9 @@ ShardedProbe::ShardedProbe(PipelineModels models, ShardedProbeParams params,
 
   shards_.reserve(params_.num_shards);
   for (std::size_t i = 0; i < params_.num_shards; ++i) {
-    shards_.push_back(
-        std::make_unique<Shard>(models, params_.probe, sink, event_sink));
+    shards_.push_back(std::make_unique<Shard>(
+        registry_, &pipeline_metrics_, i, params_.num_shards,
+        params_.trace_capacity, models, params_.probe, sink, event_sink));
     shards_.back()->queue.reserve(params_.queue_capacity);
   }
   for (const auto& shard : shards_) {
@@ -166,6 +180,14 @@ ProbeStatsSnapshot ShardedProbe::stats() const {
   snaps.reserve(shards_.size());
   for (const auto& shard : shards_) snaps.push_back(shard->stats.snapshot());
   return ProbeStats::aggregate(snaps);
+}
+
+std::vector<obs::TraceEvent> ShardedProbe::drain_trace() {
+  flush();
+  std::vector<obs::TraceEvent> events;
+  for (const auto& shard : shards_)
+    if (shard->trace != nullptr) shard->trace->append_to(events);
+  return events;
 }
 
 std::size_t ShardedProbe::reports_emitted() const {

@@ -26,7 +26,10 @@
 #include <vector>
 
 #include "core/multi_session_probe.hpp"
+#include "core/pipeline_metrics.hpp"
 #include "core/probe_stats.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace cgctx::core {
 
@@ -53,6 +56,9 @@ struct ShardedProbeParams {
   /// Record processing latency for every Nth packet per shard (1 = all,
   /// 0 = never); sampling keeps the steady_clock reads off most packets.
   std::uint32_t latency_sample_stride = 8;
+  /// Per-shard decision-trace ring capacity, in events (rounded up to a
+  /// power of two). 0 disables tracing entirely.
+  std::size_t trace_capacity = 0;
 };
 
 class ShardedProbe {
@@ -83,6 +89,21 @@ class ShardedProbe {
   /// or after flush().
   [[nodiscard]] ProbeStatsSnapshot stats() const;
 
+  /// The probe's unified metrics registry: per-shard `cgctx_probe_*`
+  /// series (labeled {"shard","N"}) plus the shared `cgctx_session_*` /
+  /// `cgctx_pipeline_*` pipeline instrumentation. Snapshot-safe from any
+  /// thread while the workers run; feed it to obs::to_prometheus /
+  /// obs::to_json for export.
+  [[nodiscard]] obs::MetricsSnapshot metrics_snapshot() const {
+    return registry_.snapshot();
+  }
+
+  /// Flushes (joining the workers), then concatenates every shard's
+  /// decision trace in shard order. Empty unless
+  /// ShardedProbeParams::trace_capacity > 0. Rings are single-writer
+  /// (each shard's worker), so draining waits for the workers to stop.
+  [[nodiscard]] std::vector<obs::TraceEvent> drain_trace();
+
   [[nodiscard]] std::size_t num_shards() const { return shards_.size(); }
   [[nodiscard]] std::size_t reports_emitted() const;
 
@@ -93,6 +114,10 @@ class ShardedProbe {
   struct Shard;
 
   ShardedProbeParams params_;
+  /// Declared before shards_: shard ProbeStats and the shared
+  /// PipelineMetrics bind instruments that live in this registry.
+  obs::MetricsRegistry registry_;
+  PipelineMetrics pipeline_metrics_;
   ReportCallback on_report_;
   /// Serializes report/event callbacks across worker threads.
   mutable std::mutex sink_mu_;

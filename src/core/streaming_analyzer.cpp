@@ -31,12 +31,13 @@ void StreamingAnalyzer::push(const net::PacketRecord& pkt) {
     flow_begin_ = flow.first_seen;
     engine_.start(flow_begin_);
     engine_.set_detection(*detection_);
-    if (on_event_) {
+    if (on_event_ || trace_ != nullptr) {
       StreamEvent event;
       event.type = StreamEventType::kFlowDetected;
       event.at_seconds = net::duration_to_seconds(pkt.timestamp - flow_begin_);
       event.detection = detection_;
-      on_event_(event);
+      if (trace_ != nullptr) append_trace(*trace_, trace_session_id_, event);
+      if (on_event_) on_event_(event);
     }
     // Replay the buffered packets of the detected flow (the triggering
     // packet is among them).
@@ -54,6 +55,8 @@ void StreamingAnalyzer::push(const net::PacketRecord& pkt) {
 SessionReport StreamingAnalyzer::finish() {
   CallbackSink sink{this};
   SessionReport out = engine_.finish(sink);  // copy: the engine is reused
+  if (trace_ != nullptr) append_retired(*trace_, trace_session_id_, out);
+  ++trace_session_id_;
 
   // Reset for the next session.
   engine_.reset();

@@ -15,12 +15,15 @@
 // observability backends the batch pipeline does.
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <optional>
 
 #include "core/session_engine.hpp"
+#include "core/trace_sink.hpp"
 #include "net/flow_table.hpp"
+#include "obs/trace.hpp"
 
 namespace cgctx::core {
 
@@ -53,15 +56,32 @@ class StreamingAnalyzer {
     return engine_.title_classified();
   }
 
+  /// Optional pipeline instrumentation (classification-health counters,
+  /// stage timers). Must outlive the analyzer.
+  void set_metrics(const PipelineMetrics* metrics) {
+    engine_.set_metrics(metrics);
+  }
+
+  /// Optional decision trace. Successive sessions the analyzer processes
+  /// are numbered 1, 2, ... (advanced by finish()). The ring must outlive
+  /// the analyzer.
+  void set_trace(obs::DecisionTraceRing* ring) { trace_ = ring; }
+
  private:
   /// Forwards engine milestones and slot records to the analyzer's
-  /// std::function callbacks (emptiness checked at dispatch; this adapter
-  /// path is not the probe hot path).
+  /// std::function callbacks and, when installed, the decision trace
+  /// (emptiness checked at dispatch; this adapter path is not the probe
+  /// hot path). QoE-change events are trace-only: the std::function
+  /// callbacks predate the event type and never see it.
   struct CallbackSink {
     static constexpr bool kWantsEvents = true;
     static constexpr bool kWantsSlots = true;
+    static constexpr bool kWantsQoe = true;
     StreamingAnalyzer* self;
     void on_stream_event(const StreamEvent& event) {
+      if (self->trace_ != nullptr)
+        append_trace(*self->trace_, self->trace_session_id_, event);
+      if (event.type == StreamEventType::kQoeChanged) return;
       if (self->on_event_) self->on_event_(event);
     }
     void on_slot_record(const SlotRecord& record) {
@@ -80,6 +100,9 @@ class StreamingAnalyzer {
   /// Rolling pre-detection buffer (last ~10 s of all traffic) so the
   /// detected flow's earliest packets still reach the title window.
   std::deque<net::PacketRecord> pre_buffer_;
+
+  obs::DecisionTraceRing* trace_ = nullptr;
+  std::uint64_t trace_session_id_ = 1;
 
   /// The shared per-session state machine (declared after params_, which
   /// it references).

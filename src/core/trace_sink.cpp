@@ -1,0 +1,90 @@
+#include "core/trace_sink.hpp"
+
+#include "core/flow_detector.hpp"
+#include "core/qoe.hpp"
+#include "core/stage_classifier.hpp"
+#include "core/transition_model.hpp"
+
+namespace cgctx::core {
+
+namespace {
+
+// Fixed-name lookups: the engine's steady state may append a trace event
+// per slot close, so the names must come from string literals, never
+// from the (allocating) *_class_names() vectors.
+const char* stage_name(ml::Label stage) {
+  if (stage == kStageActive) return "active";
+  if (stage == kStagePassive) return "passive";
+  if (stage == kStageIdle) return "idle";
+  return "?";
+}
+
+const char* pattern_name(ml::Label pattern) {
+  if (pattern == kPatternContinuous) return "continuous-play";
+  if (pattern == kPatternSpectate) return "spectate-and-play";
+  return "?";
+}
+
+}  // namespace
+
+void append_trace(obs::DecisionTraceRing& ring, std::uint64_t session_id,
+                  const StreamEvent& event) {
+  obs::TraceEvent trace;
+  trace.session_id = session_id;
+  trace.at_seconds = event.at_seconds;
+  switch (event.type) {
+    case StreamEventType::kFlowDetected:
+      trace.type = obs::TraceEventType::kFlowPromoted;
+      if (event.detection)
+        trace.set_name(to_string(event.detection->platform));
+      break;
+    case StreamEventType::kTitleClassified:
+      trace.type = obs::TraceEventType::kTitleVerdict;
+      if (event.title) {
+        trace.label = event.title->label
+                          ? static_cast<std::int32_t>(*event.title->label)
+                          : -1;
+        trace.confidence = event.title->confidence;
+        trace.set_name(event.title->label ? event.title->class_name
+                                          : "(unknown)");
+      }
+      break;
+    case StreamEventType::kStageChanged:
+      trace.type = obs::TraceEventType::kStageTransition;
+      if (event.stage) {
+        trace.label = static_cast<std::int32_t>(*event.stage);
+        trace.set_name(stage_name(*event.stage));
+      }
+      break;
+    case StreamEventType::kPatternInferred:
+      trace.type = obs::TraceEventType::kPatternDecision;
+      if (event.pattern) {
+        trace.label = static_cast<std::int32_t>(event.pattern->label);
+        trace.confidence = event.pattern->confidence;
+        trace.set_name(pattern_name(event.pattern->label));
+      }
+      break;
+    case StreamEventType::kQoeChanged:
+      trace.type = obs::TraceEventType::kQoeChange;
+      if (event.qoe) {
+        trace.label = static_cast<std::int32_t>(*event.qoe);
+        trace.set_name(to_string(*event.qoe));
+      }
+      break;
+  }
+  ring.push(trace);
+}
+
+void append_retired(obs::DecisionTraceRing& ring, std::uint64_t session_id,
+                    const SessionReport& report) {
+  obs::TraceEvent trace;
+  trace.session_id = session_id;
+  trace.at_seconds = report.duration_s;
+  trace.type = obs::TraceEventType::kSessionRetired;
+  trace.label = static_cast<std::int32_t>(report.effective_session);
+  trace.confidence = report.title.confidence;
+  trace.set_name(report.title.label ? report.title.class_name : "(unknown)");
+  ring.push(trace);
+}
+
+}  // namespace cgctx::core

@@ -1,0 +1,39 @@
+// TraceSessionSink: a compile-time SessionEngine sink that records every
+// classification milestone — including QoE level changes, which only
+// trace-aware sinks opt into — as fixed-size obs::TraceEvent records in
+// a decision-trace ring. Appending neither locks nor allocates, so a
+// traced hot path keeps the engine's 0-allocs/op steady-state contract.
+#pragma once
+
+#include <cstdint>
+
+#include "core/session_engine.hpp"
+#include "obs/trace.hpp"
+
+namespace cgctx::core {
+
+/// Translates one engine StreamEvent into a TraceEvent for `session_id`
+/// and appends it to `ring`. Allocation-free.
+void append_trace(obs::DecisionTraceRing& ring, std::uint64_t session_id,
+                  const StreamEvent& event);
+
+/// Appends the terminal session-retired event (the engine never emits
+/// it; the driver that retires the session does).
+void append_retired(obs::DecisionTraceRing& ring, std::uint64_t session_id,
+                    const SessionReport& report);
+
+struct TraceSessionSink {
+  static constexpr bool kWantsEvents = true;
+  static constexpr bool kWantsSlots = false;
+  static constexpr bool kWantsQoe = true;
+
+  obs::DecisionTraceRing* ring = nullptr;
+  std::uint64_t session_id = 0;
+
+  void on_stream_event(const StreamEvent& event) {
+    append_trace(*ring, session_id, event);
+  }
+  void on_slot_record(const SlotRecord&) {}
+};
+
+}  // namespace cgctx::core

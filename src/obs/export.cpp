@@ -1,0 +1,197 @@
+#include "obs/export.hpp"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace cgctx::obs {
+
+namespace {
+
+/// Prometheus sample values: exact integers print without an exponent or
+/// trailing ".0" (counters stay grep-able); everything else gets enough
+/// digits to round-trip.
+std::string format_number(double value) {
+  if (std::isfinite(value) && value == std::floor(value) &&
+      std::fabs(value) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", value);
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", value);
+  return buf;
+}
+
+/// Renders a label set as {k="v",...}; `extra` appends one final pair
+/// (the histogram `le` label). Empty set and empty extra -> "".
+std::string render_labels(const MetricLabels& labels,
+                          std::string_view extra_key = {},
+                          std::string_view extra_value = {}) {
+  if (labels.empty() && extra_key.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += prometheus_sanitize_name(key);
+    out += "=\"";
+    out += prometheus_escape_label(value);
+    out += '"';
+  }
+  if (!extra_key.empty()) {
+    if (!first) out += ',';
+    out += extra_key;
+    out += "=\"";
+    out += extra_value;
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+std::string escape_help(std::string_view help) {
+  std::string out;
+  out.reserve(help.size());
+  for (const char c : help) {
+    if (c == '\\') out += "\\\\";
+    else if (c == '\n') out += "\\n";
+    else out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string prometheus_escape_label(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    if (c == '\\') out += "\\\\";
+    else if (c == '"') out += "\\\"";
+    else if (c == '\n') out += "\\n";
+    else out += c;
+  }
+  return out;
+}
+
+std::string prometheus_sanitize_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha =
+        (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+        c == ':';
+    const bool digit = c >= '0' && c <= '9';
+    out += alpha || (digit && i > 0) ? c : '_';
+  }
+  if (out.empty()) out = "_";
+  return out;
+}
+
+std::string json_escape(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string to_prometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  std::string_view last_name;
+  for (const MetricSeries& series : snapshot.series) {
+    const std::string name = prometheus_sanitize_name(series.name);
+    // HELP/TYPE once per metric family; the snapshot is name-sorted so
+    // same-name series (label variants) are adjacent.
+    if (series.name != last_name) {
+      last_name = series.name;
+      if (!series.help.empty())
+        out += "# HELP " + name + " " + escape_help(series.help) + "\n";
+      out += "# TYPE " + name + " ";
+      out += to_string(series.kind);
+      out += '\n';
+    }
+    if (series.kind != MetricKind::kHistogram) {
+      out += name + render_labels(series.labels) + " " +
+             format_number(series.value) + "\n";
+      continue;
+    }
+    // Cumulative le buckets at power-of-two boundaries. A raw log-linear
+    // bucket's values all lie below the next octave boundary, so the
+    // prefix sum up to bucket_index(2^k) is exactly the count of samples
+    // below 2^k.
+    std::uint64_t cumulative = 0;
+    std::size_t next_raw = 0;
+    for (unsigned octave = kExportBucketMinOctave;
+         octave <= kExportBucketMaxOctave; octave += kExportBucketOctaveStep) {
+      const std::uint64_t bound = 1ull << octave;
+      const std::size_t end = LatencyHistogram::bucket_index(bound);
+      for (; next_raw < end && next_raw < series.buckets.size(); ++next_raw)
+        cumulative += series.buckets[next_raw];
+      char le[32];
+      std::snprintf(le, sizeof(le), "%" PRIu64, bound);
+      out += name + "_bucket" + render_labels(series.labels, "le", le) + " " +
+             format_number(static_cast<double>(cumulative)) + "\n";
+    }
+    out += name + "_bucket" + render_labels(series.labels, "le", "+Inf") +
+           " " + format_number(static_cast<double>(series.count)) + "\n";
+    out += name + "_sum" + render_labels(series.labels) + " " +
+           format_number(static_cast<double>(series.sum)) + "\n";
+    out += name + "_count" + render_labels(series.labels) + " " +
+           format_number(static_cast<double>(series.count)) + "\n";
+  }
+  return out;
+}
+
+std::string to_json(const MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  os << "{\"metrics\":[";
+  bool first = true;
+  for (const MetricSeries& series : snapshot.series) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":\"" << json_escape(series.name) << "\",\"kind\":\""
+       << to_string(series.kind) << "\",\"labels\":{";
+    bool first_label = true;
+    for (const auto& [key, value] : series.labels) {
+      if (!first_label) os << ',';
+      first_label = false;
+      os << '"' << json_escape(key) << "\":\"" << json_escape(value) << '"';
+    }
+    os << '}';
+    if (series.kind == MetricKind::kHistogram) {
+      const LatencySummary summary =
+          summarize_latency(series.buckets, series.max);
+      os << ",\"count\":" << series.count << ",\"sum\":" << series.sum
+         << ",\"max\":" << series.max << ",\"p50_us\":" << summary.p50_us
+         << ",\"p90_us\":" << summary.p90_us
+         << ",\"p99_us\":" << summary.p99_us;
+    } else {
+      os << ",\"value\":" << format_number(series.value);
+    }
+    os << '}';
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace cgctx::obs

@@ -1,0 +1,47 @@
+// Snapshot exporters: Prometheus text exposition and JSON.
+//
+// The registry snapshot is the single source; both exporters are pure
+// functions over it so a scrape endpoint, a `--metrics-out` file dump,
+// and a test golden-compare all see the same bytes for the same state.
+//
+// Prometheus specifics:
+//  - metric names are sanitized to [a-zA-Z0-9_:] (invalid bytes -> '_');
+//  - label values escape backslash, double quote and newline per the
+//    text-exposition spec; HELP text escapes backslash and newline;
+//  - histogram series expose cumulative `le` buckets at power-of-two
+//    nanosecond boundaries (every other octave of the log-linear
+//    histogram), then `+Inf`, `_sum`, and `_count`. The `le="+Inf"`
+//    sample always equals `_count`.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+
+namespace cgctx::obs {
+
+/// Cumulative `le` bucket bounds used for histogram exposition, in the
+/// histogram's value unit (nanoseconds for the pipeline's timers):
+/// 2^10, 2^12, ..., 2^32. Exposed for the golden-format tests.
+inline constexpr unsigned kExportBucketMinOctave = 10;
+inline constexpr unsigned kExportBucketOctaveStep = 2;
+inline constexpr unsigned kExportBucketMaxOctave = 32;
+
+/// Escapes a Prometheus label value (backslash, quote, newline).
+std::string prometheus_escape_label(std::string_view value);
+
+/// Sanitizes a metric name to the Prometheus charset.
+std::string prometheus_sanitize_name(std::string_view name);
+
+/// Escapes a string for embedding in a JSON string literal.
+std::string json_escape(std::string_view value);
+
+/// Full text-exposition-format page for a snapshot.
+std::string to_prometheus(const MetricsSnapshot& snapshot);
+
+/// JSON object {"metrics":[...]} with one entry per series; histograms
+/// carry count/sum/max plus the summarized percentiles.
+std::string to_json(const MetricsSnapshot& snapshot);
+
+}  // namespace cgctx::obs

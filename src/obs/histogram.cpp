@@ -1,0 +1,66 @@
+#include "obs/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace cgctx::obs {
+
+std::size_t LatencyHistogram::bucket_index(std::uint64_t nanos) {
+  // Values below 2^kSubBits land in the linear bottom range one-to-one;
+  // above it, the top kSubBits bits after the leading one select the
+  // sub-bucket within the value's octave.
+  if (nanos < (1ull << kSubBits)) return static_cast<std::size_t>(nanos);
+  const unsigned msb = std::bit_width(nanos) - 1;  // >= kSubBits
+  const unsigned octave = std::min(msb, kOctaves + kSubBits - 1);
+  const std::uint64_t clamped =
+      octave == msb ? nanos : (1ull << (octave + 1)) - 1;
+  const std::uint64_t sub =
+      (clamped >> (octave - kSubBits)) & ((1ull << kSubBits) - 1);
+  return ((octave - kSubBits + 1) << kSubBits) +
+         static_cast<std::size_t>(sub);
+}
+
+std::uint64_t LatencyHistogram::bucket_floor(std::size_t index) {
+  if (index < (1ull << kSubBits)) return index;
+  const unsigned octave =
+      static_cast<unsigned>(index >> kSubBits) - 1 + kSubBits;
+  const std::uint64_t sub = index & ((1ull << kSubBits) - 1);
+  return (1ull << octave) + (sub << (octave - kSubBits));
+}
+
+void LatencyHistogram::record(std::uint64_t nanos) {
+  buckets_[bucket_index(nanos)].fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> LatencyHistogram::snapshot() const {
+  std::vector<std::uint64_t> out(kNumBuckets);
+  for (std::size_t i = 0; i < kNumBuckets; ++i)
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  return out;
+}
+
+LatencySummary summarize_latency(std::span<const std::uint64_t> buckets,
+                                 std::uint64_t max_ns) {
+  LatencySummary summary;
+  for (const std::uint64_t count : buckets) summary.samples += count;
+  summary.max_us = static_cast<double>(max_ns) / 1e3;
+  if (summary.samples == 0) return summary;
+
+  const auto value_at = [&](double fraction) {
+    const auto target = static_cast<std::uint64_t>(
+        fraction * static_cast<double>(summary.samples - 1));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+      seen += buckets[i];
+      if (seen > target)
+        return static_cast<double>(LatencyHistogram::bucket_floor(i)) / 1e3;
+    }
+    return summary.max_us;
+  };
+  summary.p50_us = value_at(0.50);
+  summary.p90_us = value_at(0.90);
+  summary.p99_us = value_at(0.99);
+  return summary;
+}
+
+}  // namespace cgctx::obs

@@ -1,0 +1,56 @@
+// Lock-free log-linear histogram (HdrHistogram-style).
+//
+// The unified telemetry plane's distribution primitive: each power-of-two
+// range is split into 16 linear sub-buckets, giving ~6% relative
+// resolution over [0, ~4.4 s in nanoseconds] with a fixed 528-counter
+// footprint and wait-free recording (one relaxed fetch_add). Grown out of
+// core::ProbeStats (which now aliases these types) so every registry
+// histogram — probe latencies, pipeline stage timers — shares one bucket
+// scheme and one percentile summarizer.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace cgctx::obs {
+
+class LatencyHistogram {
+ public:
+  static constexpr unsigned kSubBits = 4;   ///< sub-buckets per octave: 16
+  static constexpr unsigned kOctaves = 32;  ///< covers up to 2^32 ns
+  static constexpr std::size_t kNumBuckets = (kOctaves + 1) << kSubBits;
+
+  void record(std::uint64_t nanos);
+
+  /// Bucket index for a value (exposed for the bucket math tests).
+  [[nodiscard]] static std::size_t bucket_index(std::uint64_t nanos);
+  /// Lower bound of a bucket's value range, the inverse of bucket_index.
+  [[nodiscard]] static std::uint64_t bucket_floor(std::size_t index);
+
+  /// Relaxed-read copy of all counters.
+  [[nodiscard]] std::vector<std::uint64_t> snapshot() const;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kNumBuckets> buckets_{};
+};
+
+/// Percentile summary computed from histogram buckets.
+struct LatencySummary {
+  std::uint64_t samples = 0;
+  double p50_us = 0.0;
+  double p90_us = 0.0;
+  double p99_us = 0.0;
+  double max_us = 0.0;
+};
+
+/// Summarizes histogram bucket counts (as returned by
+/// LatencyHistogram::snapshot, or several of them summed element-wise).
+/// `max_ns` is the exact observed maximum, carried separately because
+/// buckets only bound it from below.
+LatencySummary summarize_latency(std::span<const std::uint64_t> buckets,
+                                 std::uint64_t max_ns);
+
+}  // namespace cgctx::obs

@@ -1,0 +1,129 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cgctx::obs {
+
+void Histogram::record(std::uint64_t value) {
+  buckets_.record(value);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  std::uint64_t seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+LatencySummary Histogram::summary() const {
+  return summarize_latency(buckets_.snapshot(), max());
+}
+
+const char* to_string(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+MetricsRegistry::Entry& MetricsRegistry::find_or_create(
+    std::string_view name, std::string_view help, MetricKind kind,
+    MetricLabels labels) {
+  if (name.empty())
+    throw std::invalid_argument("MetricsRegistry: metric name is empty");
+  std::sort(labels.begin(), labels.end());
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& entry : entries_) {
+    if (entry->name != name) continue;
+    if (entry->kind != kind)
+      throw std::invalid_argument(
+          "MetricsRegistry: metric '" + std::string(name) +
+          "' already registered as a different kind");
+    if (entry->labels == labels) return *entry;
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = std::string(name);
+  entry->help = std::string(help);
+  entry->kind = kind;
+  entry->labels = std::move(labels);
+  switch (kind) {
+    case MetricKind::kCounter:
+      entry->counter = std::make_unique<Counter>();
+      break;
+    case MetricKind::kGauge:
+      entry->gauge = std::make_unique<Gauge>();
+      break;
+    case MetricKind::kHistogram:
+      entry->histogram = std::make_unique<Histogram>();
+      break;
+  }
+  entries_.push_back(std::move(entry));
+  return *entries_.back();
+}
+
+Counter& MetricsRegistry::counter(std::string_view name,
+                                  std::string_view help,
+                                  MetricLabels labels) {
+  return *find_or_create(name, help, MetricKind::kCounter, std::move(labels))
+              .counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, std::string_view help,
+                              MetricLabels labels) {
+  return *find_or_create(name, help, MetricKind::kGauge, std::move(labels))
+              .gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::string_view help,
+                                      MetricLabels labels) {
+  return *find_or_create(name, help, MetricKind::kHistogram,
+                         std::move(labels))
+              .histogram;
+}
+
+std::size_t MetricsRegistry::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    snap.series.reserve(entries_.size());
+    for (const auto& entry : entries_) {
+      MetricSeries series;
+      series.name = entry->name;
+      series.help = entry->help;
+      series.kind = entry->kind;
+      series.labels = entry->labels;
+      switch (entry->kind) {
+        case MetricKind::kCounter:
+          series.value = static_cast<double>(entry->counter->value());
+          break;
+        case MetricKind::kGauge:
+          series.value = static_cast<double>(entry->gauge->value());
+          break;
+        case MetricKind::kHistogram:
+          series.buckets = entry->histogram->bucket_snapshot();
+          series.count = entry->histogram->count();
+          series.sum = entry->histogram->sum();
+          series.max = entry->histogram->max();
+          break;
+      }
+      snap.series.push_back(std::move(series));
+    }
+  }
+  std::sort(snap.series.begin(), snap.series.end(),
+            [](const MetricSeries& a, const MetricSeries& b) {
+              if (a.name != b.name) return a.name < b.name;
+              return a.labels < b.labels;
+            });
+  return snap;
+}
+
+}  // namespace cgctx::obs

@@ -1,0 +1,159 @@
+// MetricsRegistry: the unified telemetry plane's instrument store.
+//
+// Every component that wants operator visibility — probes, session
+// engines, the batch pipeline — registers named counters, gauges, and
+// histograms here once (registration takes a mutex; it happens at
+// construction time, never on a packet), then records through stable
+// instrument references whose mutators are single relaxed atomics:
+// wait-free, shareable across threads, and safe to hammer from the
+// per-packet hot path. snapshot() can run from any thread (a scrape
+// endpoint, a bench, a test) while recorders keep counting; the result
+// feeds the Prometheus/JSON exporters in obs/export.hpp.
+//
+// Series identity is (name, sorted labels): registering the same identity
+// twice returns the same instrument (so facades can bind lazily), while
+// the same name with different labels yields distinct series — the shard
+// label pattern ShardedProbe uses. Re-registering a name under a
+// different instrument kind throws.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/histogram.hpp"
+
+namespace cgctx::obs {
+
+/// One label pair; a series' label set is kept sorted by key.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonic counter. Wait-free recording, exact under concurrency.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Point-in-time value (live flows, queue depth). record_max() is the
+/// high-water-mark flavor: raises the gauge, never lowers it.
+class Gauge {
+ public:
+  void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  void record_max(std::int64_t v) {
+    std::int64_t seen = v_.load(std::memory_order_relaxed);
+    while (v > seen &&
+           !v_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] std::int64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Distribution instrument: log-linear buckets plus exact count, sum and
+/// max (buckets only bound the max from below). Values are unitless
+/// uint64s; the naming convention puts the unit in the metric name
+/// (`_ns` for the pipeline's timers).
+class Histogram {
+ public:
+  void record(std::uint64_t value);
+
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t max() const {
+    return max_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::vector<std::uint64_t> bucket_snapshot() const {
+    return buckets_.snapshot();
+  }
+  [[nodiscard]] LatencySummary summary() const;
+
+ private:
+  LatencyHistogram buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+const char* to_string(MetricKind kind);
+
+/// One series of a snapshot. Counter/gauge series carry `value`;
+/// histogram series carry the raw log-linear buckets plus count/sum/max.
+struct MetricSeries {
+  std::string name;
+  std::string help;
+  MetricKind kind = MetricKind::kCounter;
+  MetricLabels labels;
+  double value = 0.0;
+  std::vector<std::uint64_t> buckets;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t max = 0;
+};
+
+/// Relaxed-read copy of every registered series, sorted by
+/// (name, labels) so exports are deterministic.
+struct MetricsSnapshot {
+  std::vector<MetricSeries> series;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Registers (or finds) an instrument. Returned references are stable
+  /// for the registry's lifetime. Throws std::invalid_argument when the
+  /// name is already registered under a different kind, or when `name`
+  /// is empty.
+  Counter& counter(std::string_view name, std::string_view help,
+                   MetricLabels labels = {});
+  Gauge& gauge(std::string_view name, std::string_view help,
+               MetricLabels labels = {});
+  Histogram& histogram(std::string_view name, std::string_view help,
+                       MetricLabels labels = {});
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    std::string help;
+    MetricKind kind = MetricKind::kCounter;
+    MetricLabels labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry& find_or_create(std::string_view name, std::string_view help,
+                        MetricKind kind, MetricLabels labels);
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Entry>> entries_;
+};
+
+}  // namespace cgctx::obs

@@ -1,0 +1,38 @@
+// Scoped profiling timer feeding a registry histogram.
+//
+// Wraps a pipeline stage (title classify, stage classify, pattern gate)
+// in two steady_clock reads and one wait-free histogram record. Null
+// histogram -> fully disarmed: no clock reads, so un-instrumented
+// engines pay one branch per scope and nothing else.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "obs/metrics.hpp"
+
+namespace cgctx::obs {
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* histogram) : histogram_(histogram) {
+    if (histogram_ != nullptr) begin_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedTimer() {
+    if (histogram_ == nullptr) return;
+    const auto end = std::chrono::steady_clock::now();
+    const auto ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(end - begin_)
+            .count();
+    histogram_->record(ns > 0 ? static_cast<std::uint64_t>(ns) : 0);
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* histogram_;
+  std::chrono::steady_clock::time_point begin_{};
+};
+
+}  // namespace cgctx::obs

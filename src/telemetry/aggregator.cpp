@@ -4,6 +4,26 @@
 
 namespace cgctx::telemetry {
 
+namespace {
+
+/// RFC 4180 field quoting: group keys are operator-supplied (game title,
+/// ISP region, ...) and may contain commas, quotes, or newlines; emitted
+/// raw they would shift every column after them.
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\r\n") == std::string::npos) return field;
+  std::string quoted;
+  quoted.reserve(field.size() + 2);
+  quoted.push_back('"');
+  for (const char c : field) {
+    if (c == '"') quoted.push_back('"');
+    quoted.push_back(c);
+  }
+  quoted.push_back('"');
+  return quoted;
+}
+
+}  // namespace
+
 SessionSummary summarize(const core::SessionReport& report, std::string key) {
   SessionSummary summary;
   summary.key = std::move(key);
@@ -46,7 +66,7 @@ std::string FleetAggregator::to_csv() const {
         "mean_mbps,p5_mbps,p95_mbps,"
         "obj_bad,obj_medium,obj_good,eff_bad,eff_medium,eff_good\n";
   for (const auto& [key, group] : groups_) {
-    os << key << ',' << group.sessions << ','
+    os << csv_escape(key) << ',' << group.sessions << ','
        << group.duration_minutes.mean() << ','
        << group.stage_minutes[0].mean() << ',' << group.stage_minutes[1].mean()
        << ',' << group.stage_minutes[2].mean() << ','

@@ -1,0 +1,149 @@
+#include "obs/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace cgctx::obs {
+namespace {
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    const std::size_t end = text.find('\n', start);
+    lines.push_back(text.substr(start, end - start));
+    if (end == std::string::npos) break;
+    start = end + 1;
+  }
+  return lines;
+}
+
+TEST(PrometheusExport, EscapesLabelValues) {
+  EXPECT_EQ(prometheus_escape_label("plain"), "plain");
+  EXPECT_EQ(prometheus_escape_label("a\"b"), "a\\\"b");
+  EXPECT_EQ(prometheus_escape_label("a\\b"), "a\\\\b");
+  EXPECT_EQ(prometheus_escape_label("a\nb"), "a\\nb");
+}
+
+TEST(PrometheusExport, SanitizesNames) {
+  EXPECT_EQ(prometheus_sanitize_name("good_name:total"), "good_name:total");
+  EXPECT_EQ(prometheus_sanitize_name("weird-name!"), "weird_name_");
+  EXPECT_EQ(prometheus_sanitize_name("9lead"), "_lead");
+  EXPECT_EQ(prometheus_sanitize_name(""), "_");
+}
+
+TEST(PrometheusExport, CounterGoldenFormat) {
+  MetricsRegistry registry;
+  registry.counter("cgctx_demo_total", "A demo counter", {{"key", "va\"l"}})
+      .add(3);
+  const std::string page = to_prometheus(registry.snapshot());
+  EXPECT_EQ(page,
+            "# HELP cgctx_demo_total A demo counter\n"
+            "# TYPE cgctx_demo_total counter\n"
+            "cgctx_demo_total{key=\"va\\\"l\"} 3\n");
+}
+
+TEST(PrometheusExport, HelpAndTypeOncePerFamily) {
+  MetricsRegistry registry;
+  registry.counter("cgctx_demo_total", "help", {{"shard", "0"}}).add(1);
+  registry.counter("cgctx_demo_total", "help", {{"shard", "1"}}).add(2);
+  const std::string page = to_prometheus(registry.snapshot());
+  const std::vector<std::string> lines = lines_of(page);
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_EQ(lines[0], "# HELP cgctx_demo_total help");
+  EXPECT_EQ(lines[1], "# TYPE cgctx_demo_total counter");
+  EXPECT_EQ(lines[2], "cgctx_demo_total{shard=\"0\"} 1");
+  EXPECT_EQ(lines[3], "cgctx_demo_total{shard=\"1\"} 2");
+}
+
+TEST(PrometheusExport, HistogramBucketsAreCumulativeAndInfEqualsCount) {
+  MetricsRegistry registry;
+  Histogram& histogram = registry.histogram("cgctx_demo_ns", "latency");
+  // One sample under 2^10, one between 2^12 and 2^14, one enormous value
+  // beyond the largest finite bound.
+  histogram.record(1000);
+  histogram.record(5000);
+  histogram.record(0xffffffffffull);
+  const std::string page = to_prometheus(registry.snapshot());
+
+  std::uint64_t last_cumulative = 0;
+  std::size_t bucket_lines = 0;
+  std::uint64_t inf_value = 0;
+  std::uint64_t count_value = 0;
+  for (const std::string& line : lines_of(page)) {
+    std::uint64_t bound = 0;
+    std::uint64_t value = 0;
+    if (std::sscanf(line.c_str(),
+                    "cgctx_demo_ns_bucket{le=\"%" PRIu64 "\"} %" PRIu64,
+                    &bound, &value) == 2) {
+      ++bucket_lines;
+      EXPECT_GE(value, last_cumulative) << line;
+      last_cumulative = value;
+    } else if (std::sscanf(line.c_str(),
+                           "cgctx_demo_ns_bucket{le=\"+Inf\"} %" PRIu64,
+                           &value) == 1) {
+      inf_value = value;
+    } else if (std::sscanf(line.c_str(), "cgctx_demo_ns_count %" PRIu64,
+                           &value) == 1) {
+      count_value = value;
+    }
+  }
+  // 2^10, 2^12, ..., 2^32 inclusive.
+  EXPECT_EQ(bucket_lines,
+            (kExportBucketMaxOctave - kExportBucketMinOctave) /
+                    kExportBucketOctaveStep +
+                1);
+  EXPECT_EQ(count_value, 3u);
+  EXPECT_EQ(inf_value, count_value);
+  // The giant sample exceeds every finite bound.
+  EXPECT_EQ(last_cumulative, 2u);
+  EXPECT_NE(page.find("cgctx_demo_ns_sum "), std::string::npos);
+}
+
+TEST(PrometheusExport, HistogramBoundariesCountSamplesBelow) {
+  MetricsRegistry registry;
+  Histogram& histogram = registry.histogram("h_ns", "");
+  histogram.record(1000);  // < 2^10
+  histogram.record(5000);  // in (2^12, 2^14)
+  const std::string page = to_prometheus(registry.snapshot());
+  EXPECT_NE(page.find("h_ns_bucket{le=\"1024\"} 1\n"), std::string::npos);
+  EXPECT_NE(page.find("h_ns_bucket{le=\"4096\"} 1\n"), std::string::npos);
+  EXPECT_NE(page.find("h_ns_bucket{le=\"16384\"} 2\n"), std::string::npos);
+  EXPECT_NE(page.find("h_ns_sum 6000\n"), std::string::npos);
+}
+
+TEST(JsonExport, EscapesAndStructures) {
+  MetricsRegistry registry;
+  registry.counter("c_total", "", {{"k", "a\"b"}}).add(7);
+  const std::string json = to_json(registry.snapshot());
+  EXPECT_EQ(json,
+            "{\"metrics\":[{\"name\":\"c_total\",\"kind\":\"counter\","
+            "\"labels\":{\"k\":\"a\\\"b\"},\"value\":7}]}");
+}
+
+TEST(JsonExport, HistogramCarriesSummary) {
+  MetricsRegistry registry;
+  Histogram& histogram = registry.histogram("h_ns", "");
+  for (int i = 0; i < 100; ++i) histogram.record(1000);
+  const std::string json = to_json(registry.snapshot());
+  EXPECT_NE(json.find("\"count\":100"), std::string::npos);
+  EXPECT_NE(json.find("\"sum\":100000"), std::string::npos);
+  EXPECT_NE(json.find("\"p50_us\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p99_us\":"), std::string::npos);
+}
+
+TEST(JsonExport, JsonEscapeControlCharacters) {
+  EXPECT_EQ(json_escape("a\tb\nc"), "a\\tb\\nc");
+  EXPECT_EQ(json_escape(std::string_view("\x01", 1)), "\\u0001");
+  EXPECT_EQ(json_escape("q\"\\"), "q\\\"\\\\");
+}
+
+}  // namespace
+}  // namespace cgctx::obs

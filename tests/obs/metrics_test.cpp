@@ -1,0 +1,152 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace cgctx::obs {
+namespace {
+
+TEST(MetricsRegistry, SameIdentityReturnsSameInstrument) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("cgctx_test_total", "help");
+  Counter& b = registry.counter("cgctx_test_total", "help");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(MetricsRegistry, LabelOrderDoesNotSplitSeries) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("cgctx_test_total", "help",
+                                {{"b", "2"}, {"a", "1"}});
+  Counter& b = registry.counter("cgctx_test_total", "help",
+                                {{"a", "1"}, {"b", "2"}});
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(MetricsRegistry, DifferentLabelsAreDistinctSeries) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("cgctx_test_total", "help", {{"shard", "0"}});
+  Counter& b = registry.counter("cgctx_test_total", "help", {{"shard", "1"}});
+  EXPECT_NE(&a, &b);
+  EXPECT_EQ(registry.size(), 2u);
+}
+
+TEST(MetricsRegistry, KindConflictThrows) {
+  MetricsRegistry registry;
+  registry.counter("cgctx_test_total", "help");
+  EXPECT_THROW(registry.gauge("cgctx_test_total", "help"),
+               std::invalid_argument);
+  EXPECT_THROW(registry.histogram("cgctx_test_total", "help"),
+               std::invalid_argument);
+}
+
+TEST(MetricsRegistry, EmptyNameThrows) {
+  MetricsRegistry registry;
+  EXPECT_THROW(registry.counter("", "help"), std::invalid_argument);
+}
+
+TEST(MetricsRegistry, CounterGaugeHistogramRoundTrip) {
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("c_total", "");
+  counter.add();
+  counter.add(41);
+  EXPECT_EQ(counter.value(), 42u);
+
+  Gauge& gauge = registry.gauge("g", "");
+  gauge.set(7);
+  gauge.add(-2);
+  EXPECT_EQ(gauge.value(), 5);
+  gauge.record_max(3);  // lower: ignored
+  EXPECT_EQ(gauge.value(), 5);
+  gauge.record_max(9);
+  EXPECT_EQ(gauge.value(), 9);
+
+  Histogram& histogram = registry.histogram("h_ns", "");
+  histogram.record(100);
+  histogram.record(200);
+  histogram.record(50);
+  EXPECT_EQ(histogram.count(), 3u);
+  EXPECT_EQ(histogram.sum(), 350u);
+  EXPECT_EQ(histogram.max(), 200u);
+}
+
+TEST(MetricsRegistry, SnapshotIsSortedAndCarriesValues) {
+  MetricsRegistry registry;
+  registry.gauge("zzz", "last").set(3);
+  registry.counter("aaa_total", "first").add(5);
+  registry.counter("mmm_total", "mid", {{"shard", "1"}}).add(1);
+  registry.counter("mmm_total", "mid", {{"shard", "0"}}).add(2);
+
+  const MetricsSnapshot snapshot = registry.snapshot();
+  ASSERT_EQ(snapshot.series.size(), 4u);
+  EXPECT_EQ(snapshot.series[0].name, "aaa_total");
+  EXPECT_EQ(snapshot.series[0].value, 5.0);
+  EXPECT_EQ(snapshot.series[1].name, "mmm_total");
+  ASSERT_EQ(snapshot.series[1].labels.size(), 1u);
+  EXPECT_EQ(snapshot.series[1].labels[0].second, "0");
+  EXPECT_EQ(snapshot.series[2].labels[0].second, "1");
+  EXPECT_EQ(snapshot.series[3].name, "zzz");
+  EXPECT_EQ(snapshot.series[3].kind, MetricKind::kGauge);
+}
+
+TEST(MetricsRegistry, HistogramSeriesCarriesBuckets) {
+  MetricsRegistry registry;
+  Histogram& histogram = registry.histogram("h_ns", "");
+  histogram.record(1000);
+  const MetricsSnapshot snapshot = registry.snapshot();
+  ASSERT_EQ(snapshot.series.size(), 1u);
+  const MetricSeries& series = snapshot.series[0];
+  EXPECT_EQ(series.kind, MetricKind::kHistogram);
+  EXPECT_EQ(series.count, 1u);
+  EXPECT_EQ(series.sum, 1000u);
+  std::uint64_t total = 0;
+  for (const std::uint64_t b : series.buckets) total += b;
+  EXPECT_EQ(total, 1u);
+}
+
+// The contract the whole plane rests on: recording from many threads
+// while another thread snapshots must neither lose counts nor race (this
+// test also runs under the TSan CI job).
+TEST(MetricsRegistry, ConcurrentRecordAndSnapshot) {
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("c_total", "");
+  Histogram& histogram = registry.histogram("h_ns", "");
+  Gauge& gauge = registry.gauge("g", "");
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 25'000;
+  std::atomic<bool> stop{false};
+  std::thread scraper([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const MetricsSnapshot snapshot = registry.snapshot();
+      ASSERT_EQ(snapshot.series.size(), 3u);
+    }
+  });
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter.add();
+        histogram.record(static_cast<std::uint64_t>(t * kPerThread + i));
+        gauge.record_max(t * kPerThread + i);
+      }
+    });
+  }
+  for (std::thread& w : writers) w.join();
+  stop.store(true, std::memory_order_relaxed);
+  scraper.join();
+
+  EXPECT_EQ(counter.value(), kThreads * kPerThread);
+  EXPECT_EQ(histogram.count(), kThreads * kPerThread);
+  EXPECT_EQ(gauge.value(), kThreads * kPerThread - 1);
+}
+
+}  // namespace
+}  // namespace cgctx::obs

@@ -76,6 +76,38 @@ TEST(FleetAggregator, CsvHasHeaderAndOneRowPerGroup) {
   EXPECT_NE(csv.find("B,1,"), std::string::npos);
 }
 
+TEST(FleetAggregator, CsvQuotesKeysWithSpecialCharacters) {
+  FleetAggregator agg;
+  agg.add(make_summary("Tom Clancy's, The \"Div\"", 10, 5,
+                       core::QoeLevel::kGood, core::QoeLevel::kGood));
+  agg.add(make_summary("line\nbreak", 10, 5, core::QoeLevel::kGood,
+                       core::QoeLevel::kGood));
+  agg.add(make_summary("plain", 10, 5, core::QoeLevel::kGood,
+                       core::QoeLevel::kGood));
+  const std::string csv = agg.to_csv();
+  // RFC 4180: fields with commas/quotes/newlines are quoted, inner
+  // quotes doubled; plain keys stay bare.
+  EXPECT_NE(csv.find("\"Tom Clancy's, The \"\"Div\"\"\",1,"),
+            std::string::npos);
+  EXPECT_NE(csv.find("\"line\nbreak\",1,"), std::string::npos);
+  EXPECT_NE(csv.find("\nplain,1,"), std::string::npos);
+  // The comma inside the quoted key no longer shifts the column count:
+  // every record row has exactly 14 unquoted separators.
+  std::size_t row_start = csv.find('\n') + 1;
+  while (row_start < csv.size()) {
+    std::size_t row_end = row_start;
+    bool quoted = false;
+    int separators = 0;
+    while (row_end < csv.size() && (quoted || csv[row_end] != '\n')) {
+      if (csv[row_end] == '"') quoted = !quoted;
+      if (csv[row_end] == ',' && !quoted) ++separators;
+      ++row_end;
+    }
+    EXPECT_EQ(separators, 14) << csv.substr(row_start, row_end - row_start);
+    row_start = row_end + 1;
+  }
+}
+
 TEST(Summarize, ConvertsReportToSummary) {
   core::SessionReport report;
   report.duration_s = 120.0;
